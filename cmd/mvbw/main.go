@@ -1,0 +1,153 @@
+// Command mvbw selects a bandwidth *vector* for a multivariate kernel
+// regression — the "evenly-spaced grid or matrix in multivariate
+// contexts" the paper's introduction anticipates. Input is a CSV whose
+// last column is the response and whose other columns are regressors, or
+// a synthetic bivariate surface.
+//
+// Usage:
+//
+//	mvbw [-in data.csv] [-n 500 -seed 42] [-k 12] [-mesh]
+//
+// Without -mesh the selection uses coordinate descent (each pass reuses
+// the paper's sorted incremental sweep per dimension); with -mesh the
+// full Cartesian product of per-dimension grids is searched exactly.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/kernreg"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mvbw:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		in   = flag.String("in", "", "CSV input: regressor columns then the response column; empty generates a bivariate surface")
+		n    = flag.Int("n", 500, "synthetic sample size")
+		seed = flag.Int64("seed", 42, "synthetic data seed")
+		k    = flag.Int("k", 12, "candidate bandwidths per dimension")
+		mesh = flag.Bool("mesh", false, "exact Cartesian mesh search instead of coordinate descent")
+	)
+	flag.Parse()
+
+	var x [][]float64
+	var y []float64
+	if *in != "" {
+		var err error
+		x, y, err = readMatrixCSV(*in)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("loaded %d observations with %d regressors from %s\n", len(y), len(x[0]), *in)
+	} else {
+		rng := rand.New(rand.NewSource(*seed))
+		x = make([][]float64, *n)
+		y = make([]float64, *n)
+		for i := 0; i < *n; i++ {
+			a, b := rng.Float64(), rng.Float64()
+			x[i] = []float64{a, b}
+			y[i] = 0.3*a + 0.5*math.Sin(3*math.Pi*b) + 0.1*rng.NormFloat64()
+		}
+		fmt.Printf("generated %d observations of a bivariate surface (seed %d)\n", *n, *seed)
+	}
+
+	start := time.Now()
+	sel, err := kernreg.SelectBandwidthMV(x, y, *k, *mesh)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	method := "coordinate descent"
+	if *mesh {
+		method = "exact mesh"
+	}
+	fmt.Printf("method:     %s (%d candidates per dimension)\n", method, *k)
+	fmt.Printf("bandwidths:")
+	for _, h := range sel.Bandwidths {
+		fmt.Printf(" %.5g", h)
+	}
+	fmt.Println()
+	fmt.Printf("cv score:   %.6g\n", sel.CV)
+	fmt.Printf("evals:      %d", sel.Evals)
+	if sel.Sweeps > 0 {
+		fmt.Printf(" (%d passes)", sel.Sweeps)
+	}
+	fmt.Println()
+	fmt.Printf("elapsed:    %v\n", elapsed)
+	return nil
+}
+
+// readMatrixCSV parses a CSV whose last column is the response.
+func readMatrixCSV(path string) ([][]float64, []float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	var x [][]float64
+	var y []float64
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<16), 1<<24)
+	line := 0
+	cols := -1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.FieldsFunc(text, func(r rune) bool {
+			return r == ',' || r == '\t' || r == ' ' || r == ';'
+		})
+		vals := make([]float64, 0, len(fields))
+		bad := false
+		for _, fd := range fields {
+			if fd == "" {
+				continue
+			}
+			v, err := strconv.ParseFloat(fd, 64)
+			if err != nil {
+				bad = true
+				break
+			}
+			vals = append(vals, v)
+		}
+		if bad {
+			if line == 1 && len(y) == 0 {
+				continue // header
+			}
+			return nil, nil, fmt.Errorf("line %d: cannot parse %q", line, text)
+		}
+		if len(vals) < 2 {
+			return nil, nil, fmt.Errorf("line %d: need at least one regressor and the response", line)
+		}
+		if cols < 0 {
+			cols = len(vals)
+		} else if len(vals) != cols {
+			return nil, nil, fmt.Errorf("line %d: %d columns, expected %d", line, len(vals), cols)
+		}
+		x = append(x, vals[:len(vals)-1])
+		y = append(y, vals[len(vals)-1])
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	if len(y) < 2 {
+		return nil, nil, fmt.Errorf("need at least 2 observations, have %d", len(y))
+	}
+	return x, y, nil
+}

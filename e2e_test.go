@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// End-to-end tests of the command-line tools: build each binary once and
+// drive it the way a user would. Skipped under -short (the builds cost a
+// few seconds each).
+
+// buildTool compiles ./cmd/<name> into a temp dir and returns the binary
+// path.
+func buildTool(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func runTool(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %s: %v\n%s", filepath.Base(bin), strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestE2EBwgrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "bwgrid")
+	out := runTool(t, bin, "-n", "300", "-k", "20")
+	for _, want := range []string{"bandwidth:", "cv score:", "grid:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// CSV round trip through the tool: generate, fit, reread the curve.
+	fitPath := filepath.Join(t.TempDir(), "fit.csv")
+	runTool(t, bin, "-n", "300", "-k", "20", "-fit", fitPath, "-points", "50")
+	data, err := os.ReadFile(fitPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 51 { // header + 50 points
+		t.Errorf("fit file has %d lines, want 51", lines)
+	}
+	// The GPU method and the local-linear estimator through the CLI.
+	out = runTool(t, bin, "-n", "200", "-method", "gpu")
+	if !strings.Contains(out, "method:    gpu") {
+		t.Errorf("gpu method output:\n%s", out)
+	}
+	out = runTool(t, bin, "-n", "200", "-estimator", "ll")
+	if !strings.Contains(out, "estimator ll") {
+		t.Errorf("ll estimator output:\n%s", out)
+	}
+	// A bad flag combination fails with a non-zero exit.
+	if _, err := exec.Command(bin, "-estimator", "bogus").CombinedOutput(); err == nil {
+		t.Error("bogus estimator should fail")
+	}
+}
+
+func TestE2EGpusim(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "gpusim")
+	out := runTool(t, bin, "-n", "400", "-k", "25")
+	for _, want := range []string{"selected bandwidth", "agreement check", "modelled device time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out = runTool(t, bin, "-cliff")
+	if !strings.Contains(out, "memory wall") || !strings.Contains(out, "k = 2049") {
+		t.Errorf("cliff output incomplete:\n%s", out)
+	}
+	out = runTool(t, bin, "-plan", "-n", "20000")
+	if !strings.Contains(out, "modelled time") {
+		t.Errorf("plan output incomplete:\n%s", out)
+	}
+	out = runTool(t, bin, "-profile", "modern", "-plan", "-n", "50000")
+	if !strings.Contains(out, "modern data-centre") {
+		t.Errorf("modern profile output:\n%s", out)
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	runTool(t, bin, "-n", "200", "-trace", tracePath)
+	if data, err := os.ReadFile(tracePath); err != nil || !strings.Contains(string(data), `"ph":"X"`) {
+		t.Errorf("trace export broken: %v", err)
+	}
+}
+
+func TestE2EKdecv(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "kdecv")
+	out := runTool(t, bin, "-n", "300", "-k", "25")
+	for _, want := range []string{"LSCV", "Silverman", "Scott"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out = runTool(t, bin, "-n", "200", "-k", "20", "-gpu")
+	if !strings.Contains(out, "lscv-gpu") {
+		t.Errorf("gpu LSCV output:\n%s", out)
+	}
+}
+
+func TestE2EBwbench(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "bwbench")
+	out := runTool(t, bin, "-table2b", "-paper=false", "-runs", "1")
+	if !strings.Contains(out, "Table II Panel B") {
+		t.Errorf("table2b output:\n%s", out)
+	}
+	out = runTool(t, bin, "-future", "-json", "-runs", "1")
+	if !strings.Contains(out, `"title"`) {
+		t.Errorf("json output:\n%s", out)
+	}
+}
+
+func TestE2EMvbw(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	bin := buildTool(t, "mvbw")
+	out := runTool(t, bin, "-n", "200", "-k", "8")
+	if !strings.Contains(out, "bandwidths:") || !strings.Contains(out, "coordinate descent") {
+		t.Errorf("mvbw output:\n%s", out)
+	}
+	out = runTool(t, bin, "-n", "150", "-k", "6", "-mesh")
+	if !strings.Contains(out, "exact mesh") {
+		t.Errorf("mesh output:\n%s", out)
+	}
+	// CSV input with a 3-column file (x1, x2, y).
+	path := filepath.Join(t.TempDir(), "mv.csv")
+	var b strings.Builder
+	b.WriteString("x1,x2,y\n")
+	for i := 0; i < 60; i++ {
+		v := float64(i) / 59
+		fmt.Fprintf(&b, "%f,%f,%f\n", v, 1-v, v*2)
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out = runTool(t, bin, "-in", path, "-k", "5")
+	if !strings.Contains(out, "2 regressors") {
+		t.Errorf("csv output:\n%s", out)
+	}
+}

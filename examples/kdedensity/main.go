@@ -1,0 +1,81 @@
+// Kernel density estimation with cross-validated bandwidth — the paper's
+// stated extension of its sorted grid technique to the KDE problem.
+//
+// A bimodal sample defeats the Silverman rule of thumb (which assumes
+// roughly normal data and over-smooths), while least-squares
+// cross-validation resolves both modes. The example prints both density
+// estimates over a grid as a crude ASCII sketch.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"repro/kernreg"
+)
+
+func bimodalSample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		if rng.Intn(2) == 0 {
+			x[i] = -1.5 + 0.35*rng.NormFloat64()
+		} else {
+			x[i] = 1.5 + 0.35*rng.NormFloat64()
+		}
+	}
+	return x
+}
+
+func main() {
+	x := bimodalSample(1500, 11)
+
+	lscv, err := kernreg.SelectDensityBandwidth(x, 80)
+	if err != nil {
+		log.Fatal(err)
+	}
+	silverman, err := kernreg.RuleOfThumbBandwidth(x, "silverman", "epanechnikov")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bimodal sample, n = %d\n", len(x))
+	fmt.Printf("  LSCV bandwidth:      %.4f\n", lscv.Bandwidth)
+	fmt.Printf("  Silverman bandwidth: %.4f (assumes unimodal-normal: over-smooths)\n\n", silverman.Bandwidth)
+
+	denCV, err := kernreg.NewDensity(x, lscv.Bandwidth, "epanechnikov")
+	if err != nil {
+		log.Fatal(err)
+	}
+	denROT, err := kernreg.NewDensity(x, silverman.Bandwidth, "epanechnikov")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("     x    LSCV density        Silverman density")
+	for _, x0 := range gridPoints(-3, 3, 25) {
+		a := denCV.At(x0)
+		b := denROT.At(x0)
+		fmt.Printf("  %5.2f  %.3f %-14s %.3f %s\n", x0, a, bar(a), b, bar(b))
+	}
+
+	// The LSCV density must show a dip between the modes deeper than the
+	// rule-of-thumb density's.
+	dipCV := denCV.At(0) / denCV.At(1.5)
+	dipROT := denROT.At(0) / denROT.At(1.5)
+	fmt.Printf("\nvalley-to-peak ratio: LSCV %.3f vs Silverman %.3f (smaller = modes better resolved)\n",
+		dipCV, dipROT)
+}
+
+func gridPoints(lo, hi float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + (hi-lo)*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func bar(v float64) string {
+	return strings.Repeat("#", int(v*30))
+}

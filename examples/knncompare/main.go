@@ -1,0 +1,52 @@
+// Fixed-bandwidth kernel regression vs k-nearest-neighbour regression —
+// the contrast the paper's literature review draws (§II: the prior GPU
+// work of Creel & Zubair used k-NN, "more amenable to SIMD parallelism",
+// while the paper targets the "more common fixed-bandwidth kernel
+// approach"). Both smoothing parameters are chosen by leave-one-out
+// cross-validation with a sorted sweep: the bandwidth over the paper's
+// grid, the neighbour count over k = 1..K in a single prefix pass.
+//
+// On uniform data the two behave alike; on clustered data the k-NN
+// estimator adapts (its implied bandwidth widens in sparse regions) while
+// the fixed bandwidth cannot.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/data"
+	"repro/internal/knn"
+	"repro/kernreg"
+)
+
+func main() {
+	for _, dgp := range []data.DGP{data.Paper, data.Clustered} {
+		d := data.Generate(dgp, 800, 3)
+		fmt.Printf("=== %s DGP, n = %d ===\n", dgp, d.Len())
+
+		sel, err := kernreg.SelectBandwidth(d.X, d.Y, kernreg.GridSize(100))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := knn.SelectK(d.X, d.Y, 200)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  fixed bandwidth (CV): h = %.4f   (CV %.5f)\n", sel.Bandwidth, sel.CV)
+		fmt.Printf("  k-NN (CV):            k = %d      (CV %.5f)\n", res.K, res.CV)
+
+		m, err := knn.New(d.X, d.Y, res.K)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("    x    implied k-NN bandwidth   fixed h")
+		for _, x0 := range []float64{0.25, 0.5, 0.75} {
+			fmt.Printf("  %5.2f   %8.4f                 %.4f\n",
+				x0, m.EffectiveBandwidthAt(x0), sel.Bandwidth)
+		}
+		fmt.Println()
+	}
+	fmt.Println("note: on clustered data the k-NN implied bandwidth widens in the")
+	fmt.Println("inter-cluster gap, where the fixed bandwidth has no observations at all.")
+}

@@ -1,0 +1,80 @@
+// Multivariate bandwidth selection — the "evenly-spaced grid or matrix in
+// multivariate contexts" the paper's introduction anticipates. A simulated
+// house-price surface depends smoothly on two regressors with different
+// curvatures, so the CV-optimal bandwidth vector is anisotropic: wide in
+// the nearly-linear dimension, narrow in the wavy one.
+//
+// The example compares the exact mesh search with coordinate descent
+// (which reuses the paper's sorted incremental sweep per dimension) and
+// fits the selected model.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/kernreg"
+)
+
+// simulatePrices: log price = 0.3·size + 0.5·sin(3π·location) + noise,
+// with both regressors scaled to [0,1].
+func simulatePrices(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		size, loc := rng.Float64(), rng.Float64()
+		x[i] = []float64{size, loc}
+		y[i] = 0.3*size + 0.5*math.Sin(3*math.Pi*loc) + 0.1*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func truth(size, loc float64) float64 {
+	return 0.3*size + 0.5*math.Sin(3*math.Pi*loc)
+}
+
+func main() {
+	x, y := simulatePrices(600, 17)
+
+	start := time.Now()
+	mesh, err := kernreg.SelectBandwidthMV(x, y, 12, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	meshTime := time.Since(start)
+
+	start = time.Now()
+	cd, err := kernreg.SelectBandwidthMV(x, y, 12, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cdTime := time.Since(start)
+
+	fmt.Println("bivariate bandwidth selection, n = 600, 12 candidates per dimension")
+	fmt.Printf("  exact mesh (144 cells):   h = (%.3f, %.3f)  CV = %.6f  [%v, %d objective evals]\n",
+		mesh.Bandwidths[0], mesh.Bandwidths[1], mesh.CV, meshTime.Round(time.Millisecond), mesh.Evals)
+	fmt.Printf("  coordinate descent:       h = (%.3f, %.3f)  CV = %.6f  [%v, %d sweep points, %d passes]\n",
+		cd.Bandwidths[0], cd.Bandwidths[1], cd.CV, cdTime.Round(time.Millisecond), cd.Evals, cd.Sweeps)
+
+	if cd.Bandwidths[1] < cd.Bandwidths[0] {
+		fmt.Println("  → anisotropy detected: narrower bandwidth on the wavy dimension, as expected")
+	}
+
+	reg, err := kernreg.FitMV(x, y, cd.Bandwidths)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\n  size  loc    fitted    truth")
+	for _, pt := range [][2]float64{{0.2, 0.2}, {0.5, 0.5}, {0.8, 0.17}, {0.3, 0.83}} {
+		fit, ok := reg.Predict([]float64{pt[0], pt[1]})
+		if !ok {
+			fmt.Printf("  %.2f  %.2f   (no observations in range)\n", pt[0], pt[1])
+			continue
+		}
+		fmt.Printf("  %.2f  %.2f   %+.4f   %+.4f\n", pt[0], pt[1], fit, truth(pt[0], pt[1]))
+	}
+}

@@ -1,0 +1,138 @@
+// Package bandwidth implements the host-side cross-validation machinery
+// for optimal bandwidth selection: the CV(h) objective (paper eq. 1), a
+// naive O(k·n²) grid search, and the paper's first contribution — the
+// sorted incremental grid search that evaluates a whole grid of k
+// bandwidths in O(n² log n) total, plus a goroutine-parallel variant of
+// it. The simulated-GPU port of the same algorithm lives in internal/core.
+package bandwidth
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+)
+
+// ErrEmptyGrid is returned when a grid with no bandwidths is requested.
+var ErrEmptyGrid = errors.New("bandwidth: grid must contain at least one bandwidth")
+
+// Grid is an ascending array of candidate bandwidths. The sorted
+// incremental search requires ascending order so that each bandwidth's
+// kernel sums extend the previous bandwidth's sums (paper §III: "for every
+// h2 > h1, every term that appears in the summations for h1 also appears
+// in the summations for h2").
+type Grid struct {
+	H []float64
+}
+
+// NewGrid returns a grid of k evenly spaced bandwidths from min to max
+// inclusive. min must be positive and strictly less than max unless k==1.
+func NewGrid(min, max float64, k int) (Grid, error) {
+	if k < 1 {
+		return Grid{}, ErrEmptyGrid
+	}
+	if !(min > 0) {
+		return Grid{}, fmt.Errorf("bandwidth: minimum bandwidth must be positive, got %g", min)
+	}
+	if k == 1 {
+		return Grid{H: []float64{min}}, nil
+	}
+	if min >= max {
+		return Grid{}, fmt.Errorf("bandwidth: need min < max, got [%g, %g]", min, max)
+	}
+	h := make([]float64, k)
+	step := (max - min) / float64(k-1)
+	for i := range h {
+		h[i] = min + float64(i)*step
+	}
+	h[k-1] = max
+	return Grid{H: h}, nil
+}
+
+// DefaultGrid builds the paper's default grid for the sample x: the
+// maximum bandwidth is the domain of X (max−min) and the minimum is that
+// domain divided by the number of bandwidths, i.e. h_j = domain·j/k for
+// j = 1..k (§IV: "the maximum bandwidth in the grid is the domain of X_i
+// ... and the minimum bandwidth is that domain divided by the number of
+// bandwidths being considered").
+func DefaultGrid(x []float64, k int) (Grid, error) {
+	if k < 1 {
+		return Grid{}, ErrEmptyGrid
+	}
+	if len(x) < 2 {
+		return Grid{}, fmt.Errorf("bandwidth: need at least 2 observations to derive a grid, have %d", len(x))
+	}
+	domain := stats.Range(x)
+	if !(domain > 0) {
+		return Grid{}, fmt.Errorf("bandwidth: X has zero domain; all observations identical")
+	}
+	h := make([]float64, k)
+	for j := 1; j <= k; j++ {
+		h[j-1] = domain * float64(j) / float64(k)
+	}
+	return Grid{H: h}, nil
+}
+
+// Len returns the number of bandwidths in the grid.
+func (g Grid) Len() int { return len(g.H) }
+
+// Min returns the smallest bandwidth.
+func (g Grid) Min() float64 { return g.H[0] }
+
+// Max returns the largest bandwidth.
+func (g Grid) Max() float64 { return g.H[len(g.H)-1] }
+
+// Validate checks that the grid is non-empty, positive, and ascending.
+func (g Grid) Validate() error {
+	if len(g.H) == 0 {
+		return ErrEmptyGrid
+	}
+	prev := 0.0
+	for i, h := range g.H {
+		if !(h > 0) {
+			return fmt.Errorf("bandwidth: grid[%d] = %g is not positive", i, h)
+		}
+		if h <= prev && i > 0 {
+			return fmt.Errorf("bandwidth: grid is not strictly ascending at index %d (%g after %g)", i, h, prev)
+		}
+		prev = h
+	}
+	return nil
+}
+
+// Refine returns a new grid of k bandwidths centred on g.H[idx], spanning
+// from the previous to the next grid point (clamped to the grid ends).
+// This implements the paper's suggested refinement loop for when more than
+// 2,048 bandwidths of precision are needed: "the user can run the
+// optimization code multiple times with progressively smaller ranges".
+func (g Grid) Refine(idx, k int) (Grid, error) {
+	if idx < 0 || idx >= len(g.H) {
+		return Grid{}, fmt.Errorf("bandwidth: Refine index %d out of range [0,%d)", idx, len(g.H))
+	}
+	lo := g.H[idx]
+	hi := g.H[idx]
+	if idx > 0 {
+		lo = g.H[idx-1]
+	} else if len(g.H) > 1 {
+		lo = g.H[0] / 2
+	}
+	if idx < len(g.H)-1 {
+		hi = g.H[idx+1]
+	} else if len(g.H) > 1 {
+		hi = g.H[idx] * (1 + 1/float64(len(g.H)))
+	}
+	if lo == hi { // single-point grid
+		lo, hi = lo*0.5, hi*1.5
+	}
+	return NewGrid(lo, hi, k)
+}
+
+// Result is the outcome of a grid search: the selected bandwidth, its CV
+// score, the full score vector aligned with the grid, and the index of the
+// winner (lowest index on ties, matching the device arg-min reduction).
+type Result struct {
+	H      float64   // selected bandwidth
+	CV     float64   // CV score at H
+	Index  int       // index of H in the grid
+	Scores []float64 // CV score for every grid bandwidth
+}

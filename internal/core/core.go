@@ -1,0 +1,162 @@
+// Package core implements the paper's primary contribution end to end:
+//
+//   - SortedSequential — the "Sequential C" program (Program 3): the sorted
+//     incremental grid search in single precision, using the same iterative
+//     QuickSort and accumulation order as the device code.
+//   - SortedParallel — the native Go (goroutine) port of the same algorithm,
+//     the form a downstream Go user would actually run on a multicore host.
+//   - SelectGPU — the "CUDA on GPU" program (Program 4): the full device
+//     pipeline (fill + per-thread sort + incremental bandwidth sweep +
+//     index-switched residual matrix + Harris reductions) executed on the
+//     simulated device of internal/gpu.
+//   - PlanGPU — the same pipeline in planning mode: capacity accounting and
+//     the analytic timing model, used to regenerate the paper's large-n run
+//     times and its memory cliffs without hours of functional simulation.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/cuda"
+)
+
+// Selector identifies one of the evaluated programs, matching the paper's
+// numbering (§IV.C).
+type Selector int
+
+const (
+	// RacineHayfield is Program 1: numerical optimisation over the naive
+	// CV objective, as the R np package does. Implemented in
+	// internal/baselines.
+	RacineHayfield Selector = iota + 1
+	// MulticoreR is Program 2: the multicore numerical-optimisation
+	// selector. Implemented in internal/baselines.
+	MulticoreR
+	// SequentialC is Program 3: the single-precision sorted grid search.
+	SequentialC
+	// CUDAOnGPU is Program 4: the device pipeline on the simulated GPU.
+	CUDAOnGPU
+)
+
+// String returns the paper's name for the program.
+func (s Selector) String() string {
+	switch s {
+	case RacineHayfield:
+		return "Racine & Hayfield"
+	case MulticoreR:
+		return "Multicore R"
+	case SequentialC:
+		return "Sequential C"
+	case CUDAOnGPU:
+		return "CUDA on GPU"
+	default:
+		return fmt.Sprintf("core.Selector(%d)", int(s))
+	}
+}
+
+// SortedSequential runs Program 3: the paper's sorted incremental grid
+// search with the Epanechnikov kernel in single precision. It mirrors the
+// device program exactly — rows include the self observation and the
+// leave-one-out correction subtracts it afterwards, and the per-row sort
+// is the same iterative QuickSort — so that, as in the paper's §IV.C
+// correctness protocol, the sequential and device programs can be checked
+// against each other for identical per-observation residuals.
+func SortedSequential(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+	if err := checkInputs(x, y, g); err != nil {
+		return bandwidth.Result{}, err
+	}
+	n := len(x)
+	k := g.Len()
+	xs := toF32(x)
+	ys := toF32(y)
+	hs := toF32(g.H)
+	scores := make([]float32, k)
+	absRow := make([]float32, n)
+	yRow := make([]float32, n)
+	for j := 0; j < n; j++ {
+		fillRow(xs, ys, j, absRow, yRow)
+		cuda.DeviceQuickSort(absRow, yRow)
+		accumulateRow(absRow, yRow, ys[j], hs, scores)
+	}
+	out := make([]float64, k)
+	for jh := range scores {
+		out[jh] = float64(scores[jh]) / float64(n)
+	}
+	return bandwidth.Best(g, out), nil
+}
+
+// SortedParallel runs the native multicore port of the sorted grid search
+// (double precision, goroutine per worker). workers <= 0 selects
+// GOMAXPROCS. This is not one of the paper's four programs; it is the
+// deliverable a Go user adopts, and the harness reports it alongside them.
+func SortedParallel(x, y []float64, g bandwidth.Grid, workers int) (bandwidth.Result, error) {
+	return bandwidth.SortedGridSearchParallel(x, y, g, workers)
+}
+
+// fillRow computes absRow[i] = |x[i]−x[j]| and yRow[i] = y[i] for all i,
+// including i == j, exactly as each device thread fills its row of the
+// two n×n global matrices.
+func fillRow(xs, ys []float32, j int, absRow, yRow []float32) {
+	xj := xs[j]
+	for i := range xs {
+		d := xs[i] - xj
+		if d < 0 {
+			d = -d
+		}
+		absRow[i] = d
+		yRow[i] = ys[i]
+	}
+}
+
+// accumulateRow performs the incremental bandwidth sweep for observation
+// j's sorted row and adds the squared leave-one-out residuals into scores.
+// This is the shared arithmetic of Programs 3 and 4: float32 throughout,
+// in-range terms accumulated in sorted order, self terms subtracted at
+// the end, 0.75 Epanechnikov scaling applied after the division by h².
+func accumulateRow(absRow, yRow []float32, yj float32, hs []float32, scores []float32) {
+	n := len(absRow)
+	var sy, syd2, sd2 float32
+	cnt := 0
+	ptr := 0
+	for jh, h := range hs {
+		for ptr < n && absRow[ptr] <= h {
+			d := absRow[ptr]
+			d2 := d * d
+			yv := yRow[ptr]
+			sy += yv
+			syd2 += yv * d2
+			sd2 += d2
+			cnt++
+			ptr++
+		}
+		h2 := h * h
+		// Leave-one-out: the self observation (distance 0) is in range
+		// for every bandwidth and contributes yj to sy, nothing to the
+		// d² sums, and one to the count.
+		den := 0.75 * (float32(cnt-1) - sd2/h2)
+		if den > 0 {
+			num := 0.75 * ((sy - yj) - syd2/h2)
+			r := yj - num/den
+			scores[jh] += r * r
+		}
+	}
+}
+
+func checkInputs(x, y []float64, g bandwidth.Grid) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("core: X has %d observations, Y has %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return fmt.Errorf("core: need at least 2 observations, have %d", len(x))
+	}
+	return g.Validate()
+}
+
+func toF32(xs []float64) []float32 {
+	out := make([]float32, len(xs))
+	for i, v := range xs {
+		out[i] = float32(v)
+	}
+	return out
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/kde"
+	"repro/internal/mathx"
+)
+
+func kdeSample(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return x
+}
+
+func kdeGrid(k int) []float64 {
+	grid := make([]float64, k)
+	for j := 1; j <= k; j++ {
+		grid[j-1] = float64(j) / float64(k)
+	}
+	return grid
+}
+
+func TestKDEGPUMatchesHost(t *testing.T) {
+	for _, seed := range []int64{1, 5} {
+		for _, n := range []int{40, 150, 400} {
+			x := kdeSample(n, seed)
+			grid := kdeGrid(30)
+			host, err := kde.SortedLSCVGrid(x, grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev, _, err := SelectKDEGPU(x, grid, GPUOptions{KeepScores: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dev.Index != host.Index {
+				t.Errorf("seed %d n %d: device index %d vs host %d", seed, n, dev.Index, host.Index)
+			}
+			for j := range grid {
+				// float32 device vs float64 host: LSCV values are small
+				// differences of larger terms, so allow a loose but
+				// bounded tolerance.
+				if mathx.RelDiff(dev.Scores[j], host.Scores[j]) > 1e-3 {
+					t.Errorf("seed %d n %d h#%d: device %v vs host %v", seed, n, j, dev.Scores[j], host.Scores[j])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestKDEGPUScoreAtSelection(t *testing.T) {
+	x := kdeSample(200, 3)
+	grid := kdeGrid(25)
+	res, rep, err := SelectKDEGPU(x, grid, GPUOptions{KeepScores: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The device returns the float32-narrowed grid value.
+	if float32(res.H) != float32(grid[res.Index]) {
+		t.Errorf("bandwidth %v not at grid index %d", res.H, res.Index)
+	}
+	if math.Abs(res.Scores[res.Index]-res.Score) > 1e-6 {
+		t.Errorf("score misaligned: %v vs %v", res.Scores[res.Index], res.Score)
+	}
+	for _, s := range res.Scores {
+		if s < res.Score-1e-6 {
+			t.Error("found a score below the reported minimum")
+		}
+	}
+	// Pipeline shape: 1 main + 2k sum reductions + combine + argmin.
+	if rep.Stats.Launches != 1+2*25+1+1 {
+		t.Errorf("launches = %d, want %d", rep.Stats.Launches, 1+2*25+1+1)
+	}
+	if rep.Mem.Peak < int64(200*200*4) {
+		t.Error("peak memory below the n×n matrix")
+	}
+}
+
+func TestKDEGPUValidation(t *testing.T) {
+	grid := kdeGrid(5)
+	if _, _, err := SelectKDEGPU([]float64{1}, grid, GPUOptions{}); err == nil {
+		t.Error("single observation should fail")
+	}
+	x := kdeSample(20, 1)
+	if _, _, err := SelectKDEGPU(x, nil, GPUOptions{}); err == nil {
+		t.Error("empty grid should fail")
+	}
+	if _, _, err := SelectKDEGPU(x, []float64{0.2, 0.1}, GPUOptions{}); err == nil {
+		t.Error("descending grid should fail")
+	}
+	if _, _, err := SelectKDEGPU(x, []float64{-1, 0.1}, GPUOptions{}); err == nil {
+		t.Error("negative bandwidth should fail")
+	}
+}
+
+func TestKDEGPUConstCacheCap(t *testing.T) {
+	x := kdeSample(30, 2)
+	grid := make([]float64, 2049)
+	for j := range grid {
+		grid[j] = float64(j+1) * 1e-4
+	}
+	_, _, err := SelectKDEGPU(x, grid, GPUOptions{})
+	if err == nil {
+		t.Error("k=2049 should hit the constant cache limit")
+	}
+}
+
+func TestKDEGPUMemoryWallHigherThanRegression(t *testing.T) {
+	// The KDE pipeline stores one n×n matrix instead of two, so its wall
+	// sits ≈ √2 higher. Probe with the allocator only (planning device).
+	props := gpu.TeslaS10()
+	dev, err := gpu.NewDevice(props, gpu.Planning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 31000 // one n×n float32 ≈ 3.8 GB: fits; two would not
+	if _, err := dev.Malloc(n*n, "kde-absd"); err != nil {
+		t.Fatalf("single %d×%d matrix should fit: %v", n, n, err)
+	}
+	dev2, _ := gpu.NewDevice(props, gpu.Planning)
+	if _, err := dev2.Malloc(n*n, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dev2.Malloc(n*n, "m2"); err == nil {
+		t.Error("two 31k×31k matrices should not fit 4 GB")
+	}
+}
+
+func TestKDEGPUBimodalPreference(t *testing.T) {
+	// Two tight clusters: the device LSCV must prefer a bandwidth small
+	// enough to keep the modes separate, matching the host behaviour.
+	rng := rand.New(rand.NewSource(7))
+	n := 300
+	x := make([]float64, n)
+	for i := range x {
+		if i%2 == 0 {
+			x[i] = 0.25 + 0.02*rng.NormFloat64()
+		} else {
+			x[i] = 0.75 + 0.02*rng.NormFloat64()
+		}
+	}
+	grid := kdeGrid(40)
+	res, _, err := SelectKDEGPU(x, grid, GPUOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.H > 0.3 {
+		t.Errorf("device LSCV picked h = %v, smearing the modes", res.H)
+	}
+}

@@ -1,0 +1,470 @@
+package cuda
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gpu"
+)
+
+func testDevice(t *testing.T) *gpu.Device {
+	t.Helper()
+	d, err := gpu.NewDevice(gpu.TeslaS10(), gpu.Functional)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceQuickSortBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 11, 12, 13, 100, 2000} {
+		keys := make([]float32, n)
+		payload := make([]float32, n)
+		for i := range keys {
+			keys[i] = float32(rng.NormFloat64())
+			payload[i] = keys[i] * 5
+		}
+		c := DeviceQuickSort(keys, payload)
+		for i := 1; i < n; i++ {
+			if keys[i] < keys[i-1] {
+				t.Fatalf("n=%d: not sorted at %d", n, i)
+			}
+		}
+		for i := range keys {
+			if payload[i] != keys[i]*5 {
+				t.Fatalf("n=%d: payload decoupled at %d", n, i)
+			}
+		}
+		if n >= 2 && c.Comparisons == 0 {
+			t.Errorf("n=%d: comparisons not counted", n)
+		}
+		if n >= 2 && (c.Reads == 0 || c.Writes == 0) {
+			t.Errorf("n=%d: traffic not counted: %+v", n, c)
+		}
+	}
+}
+
+func TestDeviceQuickSortNilPayload(t *testing.T) {
+	keys := []float32{3, 1, 2}
+	DeviceQuickSort(keys, nil)
+	if keys[0] != 1 || keys[2] != 3 {
+		t.Error("nil-payload sort failed")
+	}
+}
+
+func TestDeviceQuickSortMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	DeviceQuickSort(make([]float32, 3), make([]float32, 4))
+}
+
+func TestDeviceQuickSortCountsScale(t *testing.T) {
+	// Comparisons should scale like n·log n: roughly 2.2× from n to 2n.
+	rng := rand.New(rand.NewSource(2))
+	counts := map[int]int64{}
+	for _, n := range []int{1024, 2048, 4096} {
+		var total int64
+		const trials = 10
+		for trial := 0; trial < trials; trial++ {
+			keys := make([]float32, n)
+			for i := range keys {
+				keys[i] = float32(rng.Float64())
+			}
+			c := DeviceQuickSort(keys, nil)
+			total += c.Comparisons
+		}
+		counts[n] = total / trials
+	}
+	r1 := float64(counts[2048]) / float64(counts[1024])
+	r2 := float64(counts[4096]) / float64(counts[2048])
+	for _, r := range []float64{r1, r2} {
+		if r < 1.9 || r > 2.6 {
+			t.Errorf("comparison growth ratio %v outside n·log n expectations", r)
+		}
+	}
+}
+
+func TestDeviceQuickSortStackBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5000)
+		keys := make([]float32, n)
+		for i := range keys {
+			keys[i] = float32(rng.Float64())
+		}
+		c := DeviceQuickSort(keys, nil)
+		// Smaller-side-first iteration bounds the stack by log2(n)+1.
+		return c.MaxStack <= 2+int(math.Log2(float64(n)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeviceQuickSortDuplicateKeys(t *testing.T) {
+	keys := make([]float32, 1000)
+	payload := make([]float32, 1000)
+	for i := range keys {
+		keys[i] = float32(i % 3)
+		payload[i] = float32(i)
+	}
+	DeviceQuickSort(keys, payload)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			t.Fatal("duplicate-heavy sort failed")
+		}
+	}
+}
+
+type fakeCharger struct {
+	ops, read, write int64
+}
+
+func (f *fakeCharger) ChargeOps(n int64)         { f.ops += n }
+func (f *fakeCharger) ChargeGlobalRead(b int64)  { f.read += b }
+func (f *fakeCharger) ChargeGlobalWrite(b int64) { f.write += b }
+
+func TestChargeSort(t *testing.T) {
+	c := SortCounts{Comparisons: 10, Swaps: 4, Reads: 30, Writes: 16}
+	var f fakeCharger
+	ChargeSort(&f, c)
+	if f.ops != 18 { // comparisons + 2·swaps
+		t.Errorf("ops = %d", f.ops)
+	}
+	if f.read != 120 || f.write != 64 {
+		t.Errorf("traffic = %d/%d", f.read, f.write)
+	}
+}
+
+func TestSumReduceMatchesHost(t *testing.T) {
+	d := testDevice(t)
+	for _, n := range []int{1, 7, 128, 1000} {
+		for _, T := range []int{32, 128, 512} {
+			in, err := d.Malloc(n, "in")
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, err := d.Malloc(4, "out")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(int64(n + T)))
+			host := make([]float32, n)
+			for i := range host {
+				host[i] = float32(rng.Float64())
+			}
+			if err := d.CopyToDevice(in, host); err != nil {
+				t.Fatal(err)
+			}
+			if err := SumReduce(d, in, 0, n, out, 2, T); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float32, 4)
+			if err := d.CopyFromDevice(got, out); err != nil {
+				t.Fatal(err)
+			}
+			var want float64
+			for _, v := range host {
+				want += float64(v)
+			}
+			if math.Abs(float64(got[2])-want) > 1e-3*math.Max(1, want) {
+				t.Errorf("n=%d T=%d: sum = %v, want %v", n, T, got[2], want)
+			}
+			_ = d.Free(in)
+			_ = d.Free(out)
+		}
+	}
+}
+
+func TestSumReduceOffset(t *testing.T) {
+	d := testDevice(t)
+	in, _ := d.Malloc(20, "in")
+	out, _ := d.Malloc(1, "out")
+	host := make([]float32, 20)
+	for i := range host {
+		host[i] = float32(i)
+	}
+	_ = d.CopyToDevice(in, host)
+	// Sum elements [10, 15): 10+11+12+13+14 = 60.
+	if err := SumReduce(d, in, 10, 5, out, 0, 32); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 1)
+	_ = d.CopyFromDevice(got, in) // deliberately read in first to ensure no aliasing issues
+	_ = d.CopyFromDevice(got, out)
+	if got[0] != 60 {
+		t.Errorf("offset sum = %v, want 60", got[0])
+	}
+}
+
+func TestSumReduceValidation(t *testing.T) {
+	d := testDevice(t)
+	in, _ := d.Malloc(8, "in")
+	out, _ := d.Malloc(1, "out")
+	if err := SumReduce(d, in, 0, 0, out, 0, 32); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if err := SumReduce(d, in, 0, 8, out, 0, 33); err == nil {
+		t.Error("non-power-of-two block should fail")
+	}
+	if err := SumReduce(d, in, 0, 8, out, 0, 1024); err == nil {
+		t.Error("block above device max should fail")
+	}
+}
+
+func TestArgMinReduceMatchesHost(t *testing.T) {
+	d := testDevice(t)
+	for _, k := range []int{1, 5, 50, 300, 2048} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		scoresHost := make([]float32, k)
+		bws := make([]float32, k)
+		for i := range scoresHost {
+			scoresHost[i] = float32(rng.Float64())
+			bws[i] = float32(i+1) * 0.01
+		}
+		scores, _ := d.Malloc(k, "scores")
+		out, _ := d.Malloc(2, "out")
+		_ = d.CopyToDevice(scores, scoresHost)
+		sym, err := d.UploadConstant("bw", bws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		T := 256
+		if k < T {
+			T = nextPow2(k)
+		}
+		res, err := ArgMinReduce(d, scores, k, sym, out, T)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantIdx := 0
+		for i := range scoresHost {
+			if scoresHost[i] < scoresHost[wantIdx] {
+				wantIdx = i
+			}
+		}
+		if res.Index != wantIdx || res.Bandwidth != bws[wantIdx] || res.Score != scoresHost[wantIdx] {
+			t.Errorf("k=%d: got (%d, %v, %v), want idx %d", k, res.Index, res.Bandwidth, res.Score, wantIdx)
+		}
+		_ = d.Free(scores)
+		_ = d.Free(out)
+	}
+}
+
+func TestArgMinReduceTies(t *testing.T) {
+	d := testDevice(t)
+	// Equal minimum scores at several indices: the smaller bandwidth
+	// must win, matching the host grid search convention.
+	scoresHost := []float32{0.5, 0.2, 0.9, 0.2, 0.2, 0.7}
+	bws := []float32{0.1, 0.2, 0.3, 0.4, 0.5, 0.6}
+	scores, _ := d.Malloc(len(scoresHost), "scores")
+	out, _ := d.Malloc(2, "out")
+	_ = d.CopyToDevice(scores, scoresHost)
+	sym, _ := d.UploadConstant("bw", bws)
+	res, err := ArgMinReduce(d, scores, len(scoresHost), sym, out, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Index != 1 || res.Bandwidth != 0.2 {
+		t.Errorf("tie should pick smallest bandwidth: %+v", res)
+	}
+}
+
+func TestArgMinIndexReduceMatchesValueVariant(t *testing.T) {
+	d := testDevice(t)
+	rng := rand.New(rand.NewSource(77))
+	k := 500
+	scoresHost := make([]float32, k)
+	bws := make([]float32, k)
+	for i := range scoresHost {
+		scoresHost[i] = float32(rng.Float64())
+		bws[i] = float32(i+1) / float32(k)
+	}
+	scores, _ := d.Malloc(k, "scores")
+	out, _ := d.Malloc(2, "out")
+	_ = d.CopyToDevice(scores, scoresHost)
+	sym, _ := d.UploadConstant("bw", bws)
+	a, err := ArgMinReduce(d, scores, k, sym, out, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ArgMinIndexReduce(d, scores, k, sym, out, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Index != b.Index || a.Bandwidth != b.Bandwidth || a.Score != b.Score {
+		t.Errorf("variants disagree: %+v vs %+v", a, b)
+	}
+}
+
+func TestArgMinValidation(t *testing.T) {
+	d := testDevice(t)
+	scores, _ := d.Malloc(10, "scores")
+	small, _ := d.Malloc(1, "small")
+	sym, _ := d.UploadConstant("bw", make([]float32, 5))
+	if _, err := ArgMinReduce(d, scores, 10, sym, small, 32); err == nil {
+		t.Error("too-few bandwidths or too-small output should fail")
+	}
+	out, _ := d.Malloc(2, "out")
+	if _, err := ArgMinReduce(d, scores, 10, sym, out, 32); err == nil {
+		t.Error("bandwidth symbol shorter than k should fail")
+	}
+	if _, err := ArgMinIndexReduce(d, scores, 10, sym, small, 32); err == nil {
+		t.Error("index variant with small output should fail")
+	}
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func TestSumReduceGridMatchesSingleBlock(t *testing.T) {
+	d := testDevice(t)
+	for _, n := range []int{100, 1000, 5000, 20000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		host := make([]float32, n)
+		var want float64
+		for i := range host {
+			host[i] = float32(rng.Float64())
+			want += float64(host[i])
+		}
+		in, err := d.Malloc(n, "in")
+		if err != nil {
+			t.Fatal(err)
+		}
+		T := 128
+		blocks := (n + 2*T - 1) / (2 * T)
+		scratch, err := d.Malloc(blocks+1, "scratch")
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, err := d.Malloc(2, "out")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := d.CopyToDevice(in, host); err != nil {
+			t.Fatal(err)
+		}
+		if err := SumReduceGrid(d, in, 0, n, scratch, out, 0, T); err != nil {
+			t.Fatal(err)
+		}
+		if err := SumReduce(d, in, 0, n, out, 1, 512); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]float32, 2)
+		if err := d.CopyFromDevice(got, out); err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(float64(got[0])-want) > 1e-2*math.Max(1, want) {
+			t.Errorf("n=%d: grid sum = %v, want %v", n, got[0], want)
+		}
+		if math.Abs(float64(got[0]-got[1])) > 1e-2*math.Max(1, want) {
+			t.Errorf("n=%d: grid %v vs single-block %v", n, got[0], got[1])
+		}
+		_ = d.Free(in)
+		_ = d.Free(scratch)
+		_ = d.Free(out)
+	}
+}
+
+func TestSumReduceGridScratchTooSmall(t *testing.T) {
+	d := testDevice(t)
+	in, _ := d.Malloc(10000, "in")
+	scratch, _ := d.Malloc(2, "scratch")
+	out, _ := d.Malloc(1, "out")
+	if err := SumReduceGrid(d, in, 0, 10000, scratch, out, 0, 64); err == nil {
+		t.Error("undersized scratch should fail")
+	}
+}
+
+func TestSumReduceInterleavedMatchesSequential(t *testing.T) {
+	d := testDevice(t)
+	n := 4096
+	rng := rand.New(rand.NewSource(9))
+	host := make([]float32, n)
+	for i := range host {
+		host[i] = float32(rng.Float64())
+	}
+	in, _ := d.Malloc(n, "in")
+	out, _ := d.Malloc(2, "out")
+	_ = d.CopyToDevice(in, host)
+	if err := SumReduceInterleaved(d, in, 0, n, out, 0, 256); err != nil {
+		t.Fatal(err)
+	}
+	if err := SumReduce(d, in, 0, n, out, 1, 256); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 2)
+	_ = d.CopyFromDevice(got, out)
+	if math.Abs(float64(got[0]-got[1])) > 1e-2 {
+		t.Errorf("interleaved %v vs sequential %v", got[0], got[1])
+	}
+}
+
+func TestInterleavedAddressingCostsMoreWarpWork(t *testing.T) {
+	// Harris's optimisation, reproduced in the model: the interleaved
+	// tree keeps every warp active at every level, the sequential tree
+	// retires whole warps — visible as a strictly larger WarpMaxOps.
+	run := func(interleaved bool) gpu.Tally {
+		d := testDevice(t)
+		n := 4096
+		in, _ := d.Malloc(n, "in")
+		out, _ := d.Malloc(1, "out")
+		host := make([]float32, n)
+		_ = d.CopyToDevice(in, host)
+		var err error
+		if interleaved {
+			err = SumReduceInterleaved(d, in, 0, n, out, 0, 512)
+		} else {
+			err = SumReduce(d, in, 0, n, out, 0, 512)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d.Stats().KernelTally
+	}
+	inter := run(true)
+	seq := run(false)
+	if inter.WarpMaxOps <= seq.WarpMaxOps {
+		t.Errorf("interleaved WarpMaxOps (%d) should exceed sequential addressing (%d)",
+			inter.WarpMaxOps, seq.WarpMaxOps)
+	}
+	t.Logf("warp-serialised ops: interleaved %d vs sequential %d (%.2fx)",
+		inter.WarpMaxOps, seq.WarpMaxOps, float64(inter.WarpMaxOps)/float64(seq.WarpMaxOps))
+}
+
+func TestSumReduceAtomicMatchesTree(t *testing.T) {
+	d := testDevice(t)
+	n := 3000
+	rng := rand.New(rand.NewSource(4))
+	host := make([]float32, n)
+	var want float64
+	for i := range host {
+		host[i] = float32(rng.Float64())
+		want += float64(host[i])
+	}
+	in, _ := d.Malloc(n, "in")
+	out, _ := d.Malloc(1, "out")
+	_ = d.CopyToDevice(in, host)
+	if err := d.Memset(out, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := SumReduceAtomic(d, in, 0, n, out, 0, 128); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 1)
+	_ = d.CopyFromDevice(got, out)
+	if math.Abs(float64(got[0])-want) > 1e-2 {
+		t.Errorf("atomic sum = %v, want %v", got[0], want)
+	}
+}

@@ -1,0 +1,406 @@
+package cuda
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/gpu"
+)
+
+// The reductions below follow the paper's §IV.B, which adapts Harris's
+// "Optimizing Parallel Reduction in CUDA": a single block of T threads,
+// T (or 2T) elements of shared memory; each thread t first folds the
+// strided elements j ≡ t (mod T), the block synchronises, and a shared-
+// memory tree halves the active threads each step until thread 0 holds
+// the result.
+
+// SumReduce launches the paper's summation reduction over in[off:off+n]
+// (one bandwidth's squared residuals) and writes the total to out[outIdx].
+// blockDim is T, the number of threads in the single block; it must be a
+// power of two no larger than the device's block limit.
+func SumReduce(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outIdx, blockDim int) error {
+	if err := checkReduceArgs(dev, n, blockDim); err != nil {
+		return err
+	}
+	attrs := gpu.KernelAttrs{
+		Name:        "sumReduce",
+		UsesBarrier: true,
+		SharedElems: blockDim,
+	}
+	cfg := gpu.LaunchConfig{GridDim: 1, BlockDim: blockDim}
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		// Strided accumulation: thread t sums elements t, t+T, t+2T, ...
+		var s float32
+		for j := t; j < n; j += T {
+			s += tc.Load(in, off+j)
+			tc.ChargeOps(1)
+		}
+		tc.SharedStore(t, s)
+		tc.SyncThreads()
+		// Tree reduction in shared memory.
+		for stride := T / 2; stride > 0; stride /= 2 {
+			if t < stride {
+				tc.SharedStore(t, tc.SharedLoad(t)+tc.SharedLoad(t+stride))
+				tc.ChargeOps(1)
+			}
+			tc.SyncThreads()
+		}
+		if t == 0 {
+			tc.Store(out, outIdx, tc.SharedLoad(0))
+		}
+	})
+	return err
+}
+
+// SumReduceAtomic is the barrier-free alternative to the tree reduction:
+// every thread folds its strided elements locally and atomically adds
+// its partial into out[outIdx], which must be zeroed first. No shared
+// memory, no synchronisation — but the atomics serialise on the output
+// address, which is why the paper's program uses the tree instead. The
+// caller must Memset the output cell to 0 beforehand.
+func SumReduceAtomic(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outIdx, blockDim int) error {
+	if err := checkReduceArgs(dev, n, blockDim); err != nil {
+		return err
+	}
+	attrs := gpu.KernelAttrs{Name: "sumReduceAtomic"}
+	cfg := gpu.LaunchConfig{GridDim: 1, BlockDim: blockDim}
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		var s float32
+		for j := t; j < n; j += T {
+			s += tc.Load(in, off+j)
+			tc.ChargeOps(1)
+		}
+		tc.AtomicAdd(out, outIdx, s)
+	})
+	return err
+}
+
+// SumReduceInterleaved is the naive tree reduction Harris's reference
+// (the paper's [17]) starts from and then optimises away: interleaved
+// addressing, where at stride s the active threads are those with
+// t mod 2s == 0. Results are identical to SumReduce; the cost is not —
+// the active threads are spread across every warp, so no warp ever goes
+// idle and the modelled warp-serialised work (Tally.WarpMaxOps) is
+// strictly higher than the sequential-addressing version's, which packs
+// active threads into the low warps. Kept as the ablation for the
+// reduction-optimisation lineage the paper inherits.
+func SumReduceInterleaved(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outIdx, blockDim int) error {
+	if err := checkReduceArgs(dev, n, blockDim); err != nil {
+		return err
+	}
+	attrs := gpu.KernelAttrs{
+		Name:        "sumReduceInterleaved",
+		UsesBarrier: true,
+		SharedElems: blockDim,
+	}
+	cfg := gpu.LaunchConfig{GridDim: 1, BlockDim: blockDim}
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		var s float32
+		for j := t; j < n; j += T {
+			s += tc.Load(in, off+j)
+			tc.ChargeOps(1)
+		}
+		tc.SharedStore(t, s)
+		tc.SyncThreads()
+		for stride := 1; stride < T; stride *= 2 {
+			if t%(2*stride) == 0 {
+				tc.SharedStore(t, tc.SharedLoad(t)+tc.SharedLoad(t+stride))
+				tc.ChargeOps(1)
+			}
+			tc.SyncThreads()
+		}
+		if t == 0 {
+			tc.Store(out, outIdx, tc.SharedLoad(0))
+		}
+	})
+	return err
+}
+
+// SumReduceGrid is the grid-wide two-stage variant of SumReduce for
+// inputs much larger than one block: stage one launches ⌈n/(2T)⌉ blocks,
+// each reducing its 2T-element window into a partial sum (the classic
+// Harris "reduce two elements per thread on load" trick); stage two
+// reduces the partials with a single block. The paper's program only ever
+// reduces n ≤ 20,000 elements and uses the single-block form; this is the
+// standard scaling of the same tree, provided for inputs beyond that and
+// ablated against the single-block form in the benchmarks.
+//
+// scratch must hold at least ⌈n/(2·blockDim)⌉ elements.
+func SumReduceGrid(dev *gpu.Device, in gpu.Buffer, off, n int, scratch, out gpu.Buffer, outIdx, blockDim int) error {
+	if err := checkReduceArgs(dev, n, blockDim); err != nil {
+		return err
+	}
+	blocks := (n + 2*blockDim - 1) / (2 * blockDim)
+	if scratch.Elems() < blocks {
+		return fmt.Errorf("cuda: SumReduceGrid needs %d scratch elements, have %d", blocks, scratch.Elems())
+	}
+	if blocks == 1 {
+		return SumReduce(dev, in, off, n, out, outIdx, blockDim)
+	}
+	attrs := gpu.KernelAttrs{
+		Name:        "sumReduceGrid1",
+		UsesBarrier: true,
+		SharedElems: blockDim,
+	}
+	cfg := gpu.LaunchConfig{GridDim: blocks, BlockDim: blockDim}
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		base := tc.BlockIdx() * 2 * T
+		// Load two elements per thread where available.
+		var s float32
+		i := base + t
+		if i < n {
+			s = tc.Load(in, off+i)
+		}
+		if i+T < n {
+			s += tc.Load(in, off+i+T)
+			tc.ChargeOps(1)
+		}
+		tc.SharedStore(t, s)
+		tc.SyncThreads()
+		for stride := T / 2; stride > 0; stride /= 2 {
+			if t < stride {
+				tc.SharedStore(t, tc.SharedLoad(t)+tc.SharedLoad(t+stride))
+				tc.ChargeOps(1)
+			}
+			tc.SyncThreads()
+		}
+		if t == 0 {
+			tc.Store(scratch, tc.BlockIdx(), tc.SharedLoad(0))
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return SumReduce(dev, scratch, 0, blocks, out, outIdx, blockDim)
+}
+
+// SumReduceStrided is the ablation variant of SumReduce for the
+// *unswitched* residual layout: it sums the n elements at
+// in[off], in[off+stride], in[off+2·stride], … . With stride > 1 the
+// loads are uncoalesced (warp-adjacent threads touch addresses stride
+// elements apart), which is exactly the memory-traffic penalty the
+// paper's index switch ("the matrix indices are switched at this stage")
+// exists to avoid.
+func SumReduceStrided(dev *gpu.Device, in gpu.Buffer, off, n, stride int, out gpu.Buffer, outIdx, blockDim int) error {
+	if stride == 1 {
+		return SumReduce(dev, in, off, n, out, outIdx, blockDim)
+	}
+	if err := checkReduceArgs(dev, n, blockDim); err != nil {
+		return err
+	}
+	if stride < 1 {
+		return fmt.Errorf("cuda: SumReduceStrided stride must be positive, got %d", stride)
+	}
+	attrs := gpu.KernelAttrs{
+		Name:        "sumReduceStrided",
+		UsesBarrier: true,
+		SharedElems: blockDim,
+	}
+	cfg := gpu.LaunchConfig{GridDim: 1, BlockDim: blockDim}
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		tc.SetAccessPattern(gpu.Uncoalesced)
+		var s float32
+		for j := t; j < n; j += T {
+			s += tc.Load(in, off+j*stride)
+			tc.ChargeOps(1)
+		}
+		tc.SetAccessPattern(gpu.Coalesced)
+		tc.SharedStore(t, s)
+		tc.SyncThreads()
+		for str := T / 2; str > 0; str /= 2 {
+			if t < str {
+				tc.SharedStore(t, tc.SharedLoad(t)+tc.SharedLoad(t+str))
+				tc.ChargeOps(1)
+			}
+			tc.SyncThreads()
+		}
+		if t == 0 {
+			tc.Store(out, outIdx, tc.SharedLoad(0))
+		}
+	})
+	return err
+}
+
+// ArgMinResult is what the paper's final reduction produces: the minimum
+// cross-validation score, the bandwidth it corresponds to, and (via the
+// footnoted index variant) the grid index of that bandwidth.
+type ArgMinResult struct {
+	Score     float32
+	Bandwidth float32
+	Index     int
+}
+
+// ArgMinReduce launches the paper's minimum reduction over the k
+// cross-validation scores in scores[0:k], with the candidate bandwidths
+// read from constant memory. Shared memory holds 2T elements: the first T
+// are the running minima, the next T the bandwidths they correspond to
+// (§IV.B: "it is necessary to store 2*T elements in shared memory").
+// Ties resolve to the smaller bandwidth, matching the host grid search.
+// The result is written to out[0] (score) and out[1] (bandwidth) and also
+// returned directly (read back through a D2H copy internally in
+// functional mode).
+func ArgMinReduce(dev *gpu.Device, scores gpu.Buffer, k int, bw *gpu.ConstSymbol, out gpu.Buffer, blockDim int) (ArgMinResult, error) {
+	if err := checkReduceArgs(dev, k, blockDim); err != nil {
+		return ArgMinResult{}, err
+	}
+	if bw.Len() < k {
+		return ArgMinResult{}, fmt.Errorf("cuda: ArgMinReduce needs %d bandwidths in constant memory, have %d", k, bw.Len())
+	}
+	if out.Elems() < 2 {
+		return ArgMinResult{}, fmt.Errorf("cuda: ArgMinReduce output buffer needs 2 elements, has %d", out.Elems())
+	}
+	attrs := gpu.KernelAttrs{
+		Name:        "argMinReduce",
+		UsesBarrier: true,
+		SharedElems: 2 * blockDim,
+	}
+	cfg := gpu.LaunchConfig{GridDim: 1, BlockDim: blockDim}
+	inf := float32(math.Inf(1))
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		// Strided pass: thread t scans scores whose index ≡ t mod T,
+		// keeping the best (score, bandwidth) pair. Each update also
+		// refreshes position t+T, as the paper describes.
+		best := inf
+		bh := inf
+		for j := t; j < k; j += T {
+			s := tc.Load(scores, j)
+			h := tc.Const(bw, j)
+			tc.ChargeOps(1)
+			if s < best || (s == best && h < bh) {
+				best, bh = s, h
+			}
+		}
+		tc.SharedStore(t, best)
+		tc.SharedStore(t+T, bh)
+		tc.SyncThreads()
+		for stride := T / 2; stride > 0; stride /= 2 {
+			if t < stride {
+				s2 := tc.SharedLoad(t + stride)
+				h2 := tc.SharedLoad(t + stride + T)
+				s1 := tc.SharedLoad(t)
+				h1 := tc.SharedLoad(t + T)
+				tc.ChargeOps(1)
+				if s2 < s1 || (s2 == s1 && h2 < h1) {
+					tc.SharedStore(t, s2)
+					tc.SharedStore(t+T, h2)
+				}
+			}
+			tc.SyncThreads()
+		}
+		if t == 0 {
+			tc.Store(out, 0, tc.SharedLoad(0))
+			tc.Store(out, 1, tc.SharedLoad(T))
+		}
+	})
+	if err != nil {
+		return ArgMinResult{}, err
+	}
+	host := make([]float32, 2)
+	if err := dev.CopyFromDevice(host, out); err != nil {
+		return ArgMinResult{}, err
+	}
+	res := ArgMinResult{Score: host[0], Bandwidth: host[1], Index: -1}
+	// Recover the grid index from the bandwidth value (footnote 2 of the
+	// paper observes the index alone suffices; we report both).
+	for j := 0; j < k; j++ {
+		if bw.At(j) == res.Bandwidth {
+			res.Index = j
+			break
+		}
+	}
+	return res, nil
+}
+
+// ArgMinIndexReduce is the footnote-2 variant: instead of carrying
+// bandwidth values through shared memory it carries the integer grid
+// index (stored as float32), reading the winning bandwidth from constant
+// memory afterwards. Functionally identical; exists so the ablation bench
+// can compare the two shared-memory layouts.
+func ArgMinIndexReduce(dev *gpu.Device, scores gpu.Buffer, k int, bw *gpu.ConstSymbol, out gpu.Buffer, blockDim int) (ArgMinResult, error) {
+	if err := checkReduceArgs(dev, k, blockDim); err != nil {
+		return ArgMinResult{}, err
+	}
+	if out.Elems() < 2 {
+		return ArgMinResult{}, fmt.Errorf("cuda: ArgMinIndexReduce output buffer needs 2 elements, has %d", out.Elems())
+	}
+	attrs := gpu.KernelAttrs{
+		Name:        "argMinIndexReduce",
+		UsesBarrier: true,
+		SharedElems: 2 * blockDim,
+	}
+	cfg := gpu.LaunchConfig{GridDim: 1, BlockDim: blockDim}
+	inf := float32(math.Inf(1))
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		best := inf
+		bidx := float32(-1)
+		for j := t; j < k; j += T {
+			s := tc.Load(scores, j)
+			tc.ChargeOps(1)
+			if s < best || (s == best && bidx >= 0 && float32(j) < bidx) {
+				best, bidx = s, float32(j)
+			}
+		}
+		tc.SharedStore(t, best)
+		tc.SharedStore(t+T, bidx)
+		tc.SyncThreads()
+		for stride := T / 2; stride > 0; stride /= 2 {
+			if t < stride {
+				s2 := tc.SharedLoad(t + stride)
+				i2 := tc.SharedLoad(t + stride + T)
+				s1 := tc.SharedLoad(t)
+				i1 := tc.SharedLoad(t + T)
+				tc.ChargeOps(1)
+				if s2 < s1 || (s2 == s1 && i2 >= 0 && (i1 < 0 || i2 < i1)) {
+					tc.SharedStore(t, s2)
+					tc.SharedStore(t+T, i2)
+				}
+			}
+			tc.SyncThreads()
+		}
+		if t == 0 {
+			tc.Store(out, 0, tc.SharedLoad(0))
+			tc.Store(out, 1, tc.SharedLoad(T))
+		}
+	})
+	if err != nil {
+		return ArgMinResult{}, err
+	}
+	host := make([]float32, 2)
+	if err := dev.CopyFromDevice(host, out); err != nil {
+		return ArgMinResult{}, err
+	}
+	idx := int(host[1])
+	res := ArgMinResult{Score: host[0], Index: idx}
+	if idx >= 0 && idx < bw.Len() {
+		res.Bandwidth = bw.At(idx)
+	}
+	return res, nil
+}
+
+// checkReduceArgs validates the shared block-reduction preconditions.
+func checkReduceArgs(dev *gpu.Device, n, blockDim int) error {
+	if n <= 0 {
+		return fmt.Errorf("cuda: reduction over %d elements", n)
+	}
+	if blockDim <= 0 || blockDim&(blockDim-1) != 0 {
+		return fmt.Errorf("cuda: reduction block size must be a positive power of two, got %d", blockDim)
+	}
+	if blockDim > dev.Props().MaxThreadsPerBlock {
+		return fmt.Errorf("cuda: reduction block size %d exceeds device max %d", blockDim, dev.Props().MaxThreadsPerBlock)
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+// Package cuda provides the CUDA-runtime-shaped layer between the paper's
+// device program (internal/core) and the raw simulator (internal/gpu):
+// device helper routines (the iterative QuickSort the paper adapts from
+// Finley's non-recursive implementation) and the Harris-style tree
+// reductions the paper uses for the per-bandwidth sums and the final
+// arg-min.
+package cuda
+
+// SortCounts reports the exact work a device sort performed, so its cost
+// can be charged to the thread's tally in bulk.
+type SortCounts struct {
+	Comparisons int64
+	Swaps       int64
+	Reads       int64 // element reads of keys+payload
+	Writes      int64 // element writes of keys+payload
+	MaxStack    int   // deepest explicit-stack occupancy reached
+}
+
+const (
+	devMaxStack        = 64
+	devInsertionCutoff = 12
+)
+
+// DeviceQuickSort sorts keys ascending, co-sorting payload, with the
+// iterative explicit-stack QuickSort the paper runs per device thread
+// ("an iterative variant of QuickSort is used, modified ... to sort
+// floating point numbers and to also sort an auxiliary variable. This
+// iterative QuickSort improves upon the recursive version by eliminating
+// the need for a tree of recursive subcalls"). It returns exact operation
+// counts for the timing model. payload may be nil.
+func DeviceQuickSort(keys, payload []float32) SortCounts {
+	var c SortCounts
+	if payload != nil && len(payload) != len(keys) {
+		panic("cuda: DeviceQuickSort payload length mismatch")
+	}
+	if len(keys) < 2 {
+		return c
+	}
+	var stack [devMaxStack][2]int
+	top := 0
+	stack[top] = [2]int{0, len(keys) - 1}
+	top++
+	for top > 0 {
+		top--
+		lo, hi := stack[top][0], stack[top][1]
+		for hi-lo >= devInsertionCutoff {
+			p := devPartition(keys, payload, lo, hi, &c)
+			if p-lo < hi-p {
+				stack[top] = [2]int{p + 1, hi}
+				top++
+				hi = p - 1
+			} else {
+				stack[top] = [2]int{lo, p - 1}
+				top++
+				lo = p + 1
+			}
+			if top > c.MaxStack {
+				c.MaxStack = top
+			}
+		}
+		devInsertion(keys, payload, lo, hi, &c)
+	}
+	return c
+}
+
+func devSwap(keys, payload []float32, i, j int, c *SortCounts) {
+	keys[i], keys[j] = keys[j], keys[i]
+	c.Swaps++
+	c.Reads += 2
+	c.Writes += 2
+	if payload != nil {
+		payload[i], payload[j] = payload[j], payload[i]
+		c.Reads += 2
+		c.Writes += 2
+	}
+}
+
+func devPartition(keys, payload []float32, lo, hi int, c *SortCounts) int {
+	mid := lo + (hi-lo)/2
+	c.Comparisons += 3
+	c.Reads += 6
+	if keys[mid] < keys[lo] {
+		devSwap(keys, payload, mid, lo, c)
+	}
+	if keys[hi] < keys[lo] {
+		devSwap(keys, payload, hi, lo, c)
+	}
+	if keys[hi] < keys[mid] {
+		devSwap(keys, payload, hi, mid, c)
+	}
+	devSwap(keys, payload, mid, hi-1, c)
+	pivot := keys[hi-1]
+	c.Reads++
+	i, j := lo, hi-1
+	for {
+		for i++; ; i++ {
+			c.Comparisons++
+			c.Reads++
+			if !(keys[i] < pivot) {
+				break
+			}
+		}
+		for j--; ; j-- {
+			c.Comparisons++
+			c.Reads++
+			if !(keys[j] > pivot) {
+				break
+			}
+		}
+		if i >= j {
+			break
+		}
+		devSwap(keys, payload, i, j, c)
+	}
+	devSwap(keys, payload, i, hi-1, c)
+	return i
+}
+
+func devInsertion(keys, payload []float32, lo, hi int, c *SortCounts) {
+	for i := lo + 1; i <= hi; i++ {
+		k := keys[i]
+		c.Reads++
+		var p float32
+		if payload != nil {
+			p = payload[i]
+			c.Reads++
+		}
+		j := i - 1
+		for j >= lo {
+			c.Comparisons++
+			c.Reads++
+			if !(keys[j] > k) {
+				break
+			}
+			keys[j+1] = keys[j]
+			c.Writes++
+			if payload != nil {
+				payload[j+1] = payload[j]
+				c.Reads++
+				c.Writes++
+			}
+			j--
+		}
+		keys[j+1] = k
+		c.Writes++
+		if payload != nil {
+			payload[j+1] = p
+			c.Writes++
+		}
+	}
+}
+
+// ChargeSort books a sort's exact costs onto a thread tally: one op per
+// comparison and per element move, and four bytes of global traffic per
+// element read or written (the paper's threads sort rows of the n×n
+// global matrices in place).
+type Charger interface {
+	ChargeOps(n int64)
+	ChargeGlobalRead(bytes int64)
+	ChargeGlobalWrite(bytes int64)
+}
+
+// ChargeSort applies c's counts to t.
+func ChargeSort(t Charger, c SortCounts) {
+	t.ChargeOps(c.Comparisons + c.Swaps*2)
+	t.ChargeGlobalRead(c.Reads * 4)
+	t.ChargeGlobalWrite(c.Writes * 4)
+}

@@ -1,0 +1,235 @@
+package data
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestGenerateReproducible(t *testing.T) {
+	a := Generate(Paper, 500, 42)
+	b := Generate(Paper, 500, 42)
+	for i := range a.X {
+		if a.X[i] != b.X[i] || a.Y[i] != b.Y[i] {
+			t.Fatal("same seed must reproduce the same dataset")
+		}
+	}
+	c := Generate(Paper, 500, 43)
+	same := true
+	for i := range a.X {
+		if a.X[i] != c.X[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestPaperDGPRanges(t *testing.T) {
+	d := GeneratePaper(5000, 1)
+	for i := range d.X {
+		x, y := d.X[i], d.Y[i]
+		if x < 0 || x > 1 {
+			t.Fatalf("X[%d] = %v outside [0,1]", i, x)
+		}
+		mean := 0.5*x + 10*x*x
+		if y < mean || y > mean+0.5 {
+			t.Fatalf("Y[%d] = %v outside [g(x), g(x)+0.5]", i, y)
+		}
+	}
+}
+
+func TestAllDGPsValidate(t *testing.T) {
+	for _, g := range []DGP{Paper, Sine, Step, Hetero, Linear, Clustered} {
+		d := Generate(g, 200, 7)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%v: %v", g, err)
+		}
+		if d.Len() != 200 {
+			t.Errorf("%v: Len = %d", g, d.Len())
+		}
+	}
+}
+
+func TestTrueMeanApproximation(t *testing.T) {
+	// The sample mean of Y near x₀ should approach TrueMean(x₀) for the
+	// smooth DGPs.
+	for _, g := range []DGP{Paper, Sine, Hetero, Linear} {
+		d := Generate(g, 60000, 11)
+		x0 := 0.4
+		var sum float64
+		var cnt int
+		for i := range d.X {
+			if math.Abs(d.X[i]-x0) < 0.02 {
+				sum += d.Y[i]
+				cnt++
+			}
+		}
+		if cnt < 100 {
+			t.Fatalf("%v: too few local observations (%d)", g, cnt)
+		}
+		got := sum / float64(cnt)
+		want := g.TrueMean(x0)
+		if math.Abs(got-want) > 0.15 {
+			t.Errorf("%v: local mean %v, TrueMean %v", g, got, want)
+		}
+	}
+}
+
+func TestStepTrueMean(t *testing.T) {
+	if Step.TrueMean(0.4) != 0 || Step.TrueMean(0.6) != 1 {
+		t.Error("Step TrueMean wrong")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []Dataset{
+		{X: []float64{1, 2}, Y: []float64{1}},
+		{X: []float64{1}, Y: []float64{1}},
+		{X: []float64{1, math.NaN()}, Y: []float64{1, 2}},
+		{X: []float64{1, 2}, Y: []float64{1, math.Inf(1)}},
+	}
+	for i, d := range cases {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestClone(t *testing.T) {
+	d := GeneratePaper(10, 1)
+	c := d.Clone()
+	c.X[0] = 999
+	if d.X[0] == 999 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestParseDGPRoundTrip(t *testing.T) {
+	for _, g := range []DGP{Paper, Sine, Step, Hetero, Linear, Clustered} {
+		got, err := ParseDGP(g.String())
+		if err != nil || got != g {
+			t.Errorf("ParseDGP(%q) = %v, %v", g.String(), got, err)
+		}
+	}
+	if _, err := ParseDGP("bogus"); err == nil {
+		t.Error("ParseDGP should reject unknown names")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := GeneratePaper(100, 3)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round trip lost rows: %d vs %d", got.Len(), d.Len())
+	}
+	for i := range d.X {
+		if got.X[i] != d.X[i] || got.Y[i] != d.Y[i] {
+			t.Fatalf("row %d changed: (%v,%v) vs (%v,%v)", i, got.X[i], got.Y[i], d.X[i], d.Y[i])
+		}
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	d := GeneratePaper(25, 9)
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := WriteCSVFile(path, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 25 {
+		t.Fatalf("got %d rows", got.Len())
+	}
+}
+
+func TestReadCSVFormats(t *testing.T) {
+	cases := []string{
+		"x,y\n1,2\n3,4\n",
+		"1,2\n3,4\n",
+		"1\t2\n3\t4\n",
+		"1 2\n3 4\n",
+		"1;2\n3;4\n",
+		"# comment\n1,2\n\n3,4\n",
+	}
+	for i, c := range cases {
+		d, err := ReadCSV(strings.NewReader(c))
+		if err != nil {
+			t.Errorf("case %d: %v", i, err)
+			continue
+		}
+		if d.Len() != 2 || d.X[0] != 1 || d.Y[1] != 4 {
+			t.Errorf("case %d: parsed %+v", i, d)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"x,y\n1\n",            // one column
+		"x,y\n1,2\nfoo,bar\n", // non-numeric mid-file
+		"",                    // empty
+		"x,y\n1,2\n",          // only one observation
+	}
+	for i, c := range cases {
+		if _, err := ReadCSV(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestReadCSVFileMissing(t *testing.T) {
+	if _, err := ReadCSVFile(filepath.Join(t.TempDir(), "nope.csv")); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestGenerateZeroAndNegative(t *testing.T) {
+	if Generate(Paper, 0, 1).Len() != 0 {
+		t.Error("n=0 should give empty dataset")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative n should panic")
+		}
+	}()
+	Generate(Paper, -1, 1)
+}
+
+func TestClusteredHasTwoModes(t *testing.T) {
+	d := Generate(Clustered, 2000, 5)
+	var low, high int
+	for _, x := range d.X {
+		if x < 0.5 {
+			low++
+		} else {
+			high++
+		}
+	}
+	if low < 500 || high < 500 {
+		t.Errorf("clusters unbalanced: %d vs %d", low, high)
+	}
+	// The gap between clusters should be nearly empty.
+	var mid int
+	for _, x := range d.X {
+		if x > 0.4 && x < 0.6 {
+			mid++
+		}
+	}
+	if mid > 50 {
+		t.Errorf("too many observations between clusters: %d", mid)
+	}
+}

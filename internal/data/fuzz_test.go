@@ -1,0 +1,44 @@
+package data
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV: the parser must never panic, and anything it accepts must
+// round-trip through WriteCSV/ReadCSV unchanged.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("x,y\n1,2\n3,4\n")
+	f.Add("1,2\n3,4\n")
+	f.Add("1\t2\n-3.5\t4e10\n")
+	f.Add("# comment\n\n0.1;0.2\n0.3;0.4\n")
+	f.Add("x,y\nfoo,bar\n")
+	f.Add(",,,,\n1,2\n")
+	f.Add("1e999,2\n3,4\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if err := d.Validate(); err != nil {
+			t.Fatalf("accepted dataset fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, d); err != nil {
+			t.Fatalf("write-back failed: %v", err)
+		}
+		d2, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if d2.Len() != d.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", d2.Len(), d.Len())
+		}
+		for i := range d.X {
+			if d2.X[i] != d.X[i] || d2.Y[i] != d.Y[i] {
+				t.Fatalf("round trip changed row %d", i)
+			}
+		}
+	})
+}

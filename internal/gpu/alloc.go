@@ -1,0 +1,115 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrOutOfMemory is the simulator's cudaErrorMemoryAllocation: the
+// requested block does not fit in device global memory. This is the error
+// the paper hits above n = 20,000, where the two n×n float32 matrices
+// exceed the 4 GB device.
+var ErrOutOfMemory = errors.New("gpu: out of device memory")
+
+// allocator manages device global memory as a first-fit free list over
+// byte offsets, with coalescing on free. It only accounts for capacity;
+// functional storage for buffers is managed by the Device.
+type allocator struct {
+	capacity int64
+	free     []span // sorted by offset, non-overlapping, coalesced
+	used     int64
+	peak     int64
+	allocs   int64 // lifetime allocation count
+}
+
+type span struct {
+	off, len int64
+}
+
+func newAllocator(capacity int64) *allocator {
+	return &allocator{
+		capacity: capacity,
+		free:     []span{{off: 0, len: capacity}},
+	}
+}
+
+// alloc reserves size bytes (rounded up to 256-byte alignment, matching
+// cudaMalloc's guarantee) and returns the device offset.
+func (a *allocator) alloc(size int64) (int64, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("gpu: allocation size must be positive, got %d", size)
+	}
+	const align = 256
+	size = (size + align - 1) / align * align
+	for i, s := range a.free {
+		if s.len >= size {
+			off := s.off
+			if s.len == size {
+				a.free = append(a.free[:i], a.free[i+1:]...)
+			} else {
+				a.free[i] = span{off: s.off + size, len: s.len - size}
+			}
+			a.used += size
+			if a.used > a.peak {
+				a.peak = a.used
+			}
+			a.allocs++
+			return off, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: requested %d bytes, %d in use of %d (largest free block %d)",
+		ErrOutOfMemory, size, a.used, a.capacity, a.largestFree())
+}
+
+// release returns the block at off with the given (aligned) size to the
+// free list, coalescing with neighbours.
+func (a *allocator) release(off, size int64) {
+	const align = 256
+	size = (size + align - 1) / align * align
+	a.used -= size
+	i := sort.Search(len(a.free), func(i int) bool { return a.free[i].off >= off })
+	a.free = append(a.free, span{})
+	copy(a.free[i+1:], a.free[i:])
+	a.free[i] = span{off: off, len: size}
+	// Coalesce with the next span.
+	if i+1 < len(a.free) && a.free[i].off+a.free[i].len == a.free[i+1].off {
+		a.free[i].len += a.free[i+1].len
+		a.free = append(a.free[:i+1], a.free[i+2:]...)
+	}
+	// Coalesce with the previous span.
+	if i > 0 && a.free[i-1].off+a.free[i-1].len == a.free[i].off {
+		a.free[i-1].len += a.free[i].len
+		a.free = append(a.free[:i], a.free[i+1:]...)
+	}
+}
+
+func (a *allocator) largestFree() int64 {
+	var m int64
+	for _, s := range a.free {
+		if s.len > m {
+			m = s.len
+		}
+	}
+	return m
+}
+
+// MemInfo reports device memory occupancy, the analogue of cudaMemGetInfo
+// plus peak tracking.
+type MemInfo struct {
+	Capacity int64
+	Used     int64
+	Peak     int64
+	Largest  int64 // largest allocatable block (fragmentation-aware)
+	Allocs   int64 // lifetime allocation count
+}
+
+func (a *allocator) info() MemInfo {
+	return MemInfo{
+		Capacity: a.capacity,
+		Used:     a.used,
+		Peak:     a.peak,
+		Largest:  a.largestFree(),
+		Allocs:   a.allocs,
+	}
+}

@@ -1,0 +1,104 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property tests for the device-memory allocator: under random
+// alloc/free workloads it must never hand out overlapping blocks, must
+// keep its accounting exact, and must always coalesce back to a single
+// span once everything is freed.
+
+type liveBlock struct {
+	off, size int64
+}
+
+func TestAllocatorRandomWorkload(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const capacity = 1 << 20
+		a := newAllocator(capacity)
+		var live []liveBlock
+		var accounted int64
+		const align = 256
+		for step := 0; step < 300; step++ {
+			if len(live) == 0 || rng.Intn(3) > 0 {
+				size := int64(1 + rng.Intn(8000))
+				off, err := a.alloc(size)
+				aligned := (size + align - 1) / align * align
+				if err != nil {
+					// OOM is legal when the request cannot fit; verify the
+					// allocator is honest about it.
+					if a.largestFree() >= aligned {
+						t.Logf("seed %d: OOM despite a fitting block", seed)
+						return false
+					}
+					continue
+				}
+				// No overlap with any live block.
+				for _, b := range live {
+					if off < b.off+b.size && b.off < off+aligned {
+						t.Logf("seed %d: overlap at %d", seed, off)
+						return false
+					}
+				}
+				if off < 0 || off+aligned > capacity {
+					return false
+				}
+				live = append(live, liveBlock{off, aligned})
+				accounted += aligned
+			} else {
+				i := rng.Intn(len(live))
+				b := live[i]
+				a.release(b.off, b.size)
+				live = append(live[:i], live[i+1:]...)
+				accounted -= b.size
+			}
+			if a.info().Used != accounted {
+				t.Logf("seed %d: accounting drift: %d vs %d", seed, a.info().Used, accounted)
+				return false
+			}
+		}
+		// Free everything: one fully-coalesced span must remain.
+		for _, b := range live {
+			a.release(b.off, b.size)
+		}
+		info := a.info()
+		return info.Used == 0 && info.Largest == capacity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorPeakMonotone(t *testing.T) {
+	a := newAllocator(1 << 16)
+	o1, _ := a.alloc(1 << 12)
+	peak1 := a.info().Peak
+	a.release(o1, 1<<12)
+	if a.info().Peak != peak1 {
+		t.Error("peak must not decrease on free")
+	}
+	_, _ = a.alloc(1 << 13)
+	if a.info().Peak < peak1 {
+		t.Error("peak must be monotone")
+	}
+}
+
+func TestAllocatorFirstFitReusesHoles(t *testing.T) {
+	a := newAllocator(4 * 1024)
+	o1, _ := a.alloc(1024)
+	_, _ = a.alloc(1024)
+	a.release(o1, 1024)
+	// A fitting request must land in the freed hole (first fit), not
+	// extend the tail.
+	o3, err := a.alloc(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o3 != o1 {
+		t.Errorf("first-fit should reuse the hole at %d, got %d", o1, o3)
+	}
+}

@@ -1,0 +1,315 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Mode selects how the device executes kernels.
+type Mode int
+
+const (
+	// Functional mode backs every buffer with host storage and actually
+	// executes kernel code, producing real results plus operation
+	// tallies. Used for correctness runs and small-n timing.
+	Functional Mode = iota
+	// Planning mode performs only capacity accounting and timing-model
+	// arithmetic: buffers have no storage and kernels are costed through
+	// analytic tallies rather than executed. Used to regenerate the
+	// paper's large-n run times (including the n > 20,000 OOM cliff)
+	// without hours of host-side simulation.
+	Planning
+)
+
+// String returns the mode name.
+func (m Mode) String() string {
+	switch m {
+	case Functional:
+		return "functional"
+	case Planning:
+		return "planning"
+	default:
+		return fmt.Sprintf("gpu.Mode(%d)", int(m))
+	}
+}
+
+// Errors mirroring the CUDA failure modes the paper's program encounters.
+var (
+	ErrConstCacheExceeded = errors.New("gpu: constant array exceeds the cached working set")
+	ErrConstMemExceeded   = errors.New("gpu: constant memory exhausted")
+	ErrInvalidBuffer      = errors.New("gpu: invalid or freed device buffer")
+	ErrPlanningMode       = errors.New("gpu: operation requires functional mode")
+)
+
+// Device is one simulated GPU. It is not safe for concurrent use by
+// multiple host goroutines (neither is a CUDA context without streams);
+// kernel-internal parallelism is handled by the device itself.
+type Device struct {
+	props Properties
+	mode  Mode
+
+	mem     *allocator
+	buffers []bufferState
+	nextID  int
+
+	constUsed int
+	constSyms map[string]*ConstSymbol
+
+	clock    *Clock
+	stats    DeviceStats
+	atomicMu sync.Mutex
+	inited   bool
+}
+
+type bufferState struct {
+	id    int
+	off   int64
+	elems int
+	data  []float32 // nil in planning mode
+	live  bool
+	label string
+}
+
+// Buffer is a handle to device global memory holding float32 elements
+// (the paper's program is single-precision throughout).
+type Buffer struct {
+	id    int
+	elems int
+}
+
+// Elems returns the buffer's element count.
+func (b Buffer) Elems() int { return b.elems }
+
+// Bytes returns the buffer's size in bytes.
+func (b Buffer) Bytes() int64 { return int64(b.elems) * 4 }
+
+// ConstSymbol is an array in constant memory. Reads hit the constant cache
+// and are charged separately from global memory traffic.
+type ConstSymbol struct {
+	name string
+	data []float32
+}
+
+// Len returns the number of constants in the symbol.
+func (c *ConstSymbol) Len() int { return len(c.data) }
+
+// At returns element i; device code should use ThreadCtx.Const so that the
+// read is tallied.
+func (c *ConstSymbol) At(i int) float32 { return c.data[i] }
+
+// DeviceStats aggregates activity since creation or the last ResetStats.
+type DeviceStats struct {
+	Launches    int
+	Memcpys     int
+	BytesH2D    int64
+	BytesD2H    int64
+	KernelTally Tally // summed over all launches
+}
+
+// NewDevice creates a device with the given properties and execution mode.
+// Creating the device charges the context-initialisation overhead to the
+// modelled clock, matching the constant floor the paper's CUDA run times
+// show at small n.
+func NewDevice(props Properties, mode Mode) (*Device, error) {
+	if err := props.Validate(); err != nil {
+		return nil, err
+	}
+	d := &Device{
+		props:     props,
+		mode:      mode,
+		mem:       newAllocator(props.GlobalMemBytes),
+		constSyms: make(map[string]*ConstSymbol),
+		clock:     NewClock(),
+	}
+	d.clock.Advance(props.InitOverhead, "device init")
+	d.inited = true
+	return d, nil
+}
+
+// Props returns the device properties.
+func (d *Device) Props() Properties { return d.props }
+
+// Mode returns the execution mode.
+func (d *Device) Mode() Mode { return d.mode }
+
+// Clock returns the modelled-time clock.
+func (d *Device) Clock() *Clock { return d.clock }
+
+// Stats returns a copy of the accumulated device statistics.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// MemInfo reports global-memory occupancy.
+func (d *Device) MemInfo() MemInfo { return d.mem.info() }
+
+// Malloc reserves elems float32 values of global memory. It charges the
+// per-call allocation overhead the paper observes ("allocating memory for
+// these many matrices — especially the n by n ones — involves a large
+// time cost") and fails with ErrOutOfMemory exactly when a real 4 GB
+// device would.
+func (d *Device) Malloc(elems int, label string) (Buffer, error) {
+	if elems <= 0 {
+		return Buffer{}, fmt.Errorf("gpu: Malloc needs a positive element count, got %d", elems)
+	}
+	bytes := int64(elems) * 4
+	off, err := d.mem.alloc(bytes)
+	if err != nil {
+		return Buffer{}, fmt.Errorf("allocating %q (%d elems): %w", label, elems, err)
+	}
+	var data []float32
+	if d.mode == Functional {
+		data = make([]float32, elems)
+	}
+	st := bufferState{id: d.nextID, off: off, elems: elems, data: data, live: true, label: label}
+	d.nextID++
+	d.buffers = append(d.buffers, st)
+	d.clock.Advance(d.props.MallocOverhead, "cudaMalloc "+label)
+	return Buffer{id: st.id, elems: elems}, nil
+}
+
+// Free releases a buffer. Double frees return ErrInvalidBuffer.
+func (d *Device) Free(b Buffer) error {
+	st := d.lookup(b)
+	if st == nil {
+		return ErrInvalidBuffer
+	}
+	st.live = false
+	st.data = nil
+	d.mem.release(st.off, int64(st.elems)*4)
+	d.clock.Advance(d.props.MallocOverhead, "cudaFree "+st.label)
+	return nil
+}
+
+// lookup resolves a buffer handle in O(1): buffer ids are indices into the
+// device's buffer table (entries are never removed, only marked dead).
+func (d *Device) lookup(b Buffer) *bufferState {
+	if b.id < 0 || b.id >= len(d.buffers) {
+		return nil
+	}
+	st := &d.buffers[b.id]
+	if !st.live {
+		return nil
+	}
+	return st
+}
+
+// data returns the functional backing store of a buffer.
+func (d *Device) data(b Buffer) ([]float32, error) {
+	st := d.lookup(b)
+	if st == nil {
+		return nil, ErrInvalidBuffer
+	}
+	if st.data == nil {
+		return nil, ErrPlanningMode
+	}
+	return st.data, nil
+}
+
+// CopyToDevice copies host values into the buffer (cudaMemcpyHostToDevice)
+// and charges PCIe transfer time.
+func (d *Device) CopyToDevice(b Buffer, host []float32) error {
+	st := d.lookup(b)
+	if st == nil {
+		return ErrInvalidBuffer
+	}
+	if len(host) > st.elems {
+		return fmt.Errorf("gpu: memcpy H2D of %d elems into buffer %q of %d", len(host), st.label, st.elems)
+	}
+	if d.mode == Functional {
+		copy(st.data, host)
+	}
+	bytes := int64(len(host)) * 4
+	d.stats.Memcpys++
+	d.stats.BytesH2D += bytes
+	d.clock.Advance(d.props.MemcpyOverhead+float64(bytes)/d.props.PCIeBandwidth, "memcpy H2D "+st.label)
+	return nil
+}
+
+// CopyFromDevice copies the buffer's contents into host (cudaMemcpy
+// DeviceToHost), charging PCIe time. In planning mode the destination is
+// left untouched but time is still charged, so cost plans stay complete.
+func (d *Device) CopyFromDevice(host []float32, b Buffer) error {
+	st := d.lookup(b)
+	if st == nil {
+		return ErrInvalidBuffer
+	}
+	if len(host) > st.elems {
+		return fmt.Errorf("gpu: memcpy D2H of %d elems from buffer %q of %d", len(host), st.label, st.elems)
+	}
+	if d.mode == Functional {
+		copy(host, st.data[:len(host)])
+	}
+	bytes := int64(len(host)) * 4
+	d.stats.Memcpys++
+	d.stats.BytesD2H += bytes
+	d.clock.Advance(d.props.MemcpyOverhead+float64(bytes)/d.props.PCIeBandwidth, "memcpy D2H "+st.label)
+	return nil
+}
+
+// Memset fills the buffer with a value (cudaMemset generalised to
+// float32), charging device-bandwidth time for the writes.
+func (d *Device) Memset(b Buffer, v float32) error {
+	st := d.lookup(b)
+	if st == nil {
+		return ErrInvalidBuffer
+	}
+	if d.mode == Functional {
+		for i := range st.data {
+			st.data[i] = v
+		}
+	}
+	bytes := int64(st.elems) * 4
+	d.clock.Advance(d.props.MemcpyOverhead+float64(bytes)/d.props.MemBandwidth, "memset "+st.label)
+	return nil
+}
+
+// CopyDeviceToDevice copies src into dst (cudaMemcpyDeviceToDevice),
+// charging device-bandwidth time for a read plus a write of every byte.
+// dst must be at least as large as src; overlapping copies are not a
+// concern because buffers never alias.
+func (d *Device) CopyDeviceToDevice(dst, src Buffer) error {
+	sdst := d.lookup(dst)
+	ssrc := d.lookup(src)
+	if sdst == nil || ssrc == nil {
+		return ErrInvalidBuffer
+	}
+	if sdst.elems < ssrc.elems {
+		return fmt.Errorf("gpu: D2D copy of %d elems into buffer %q of %d", ssrc.elems, sdst.label, sdst.elems)
+	}
+	if d.mode == Functional {
+		copy(sdst.data, ssrc.data)
+	}
+	bytes := int64(ssrc.elems) * 4 * 2 // read + write
+	d.stats.Memcpys++
+	d.clock.Advance(d.props.MemcpyOverhead+float64(bytes)/d.props.MemBandwidth, "memcpy D2D "+sdst.label)
+	return nil
+}
+
+// UploadConstant places values into constant memory under name. Uploading
+// more than the cached working set (8 KB on the paper's hardware) fails
+// with ErrConstCacheExceeded — the exact constraint that caps the paper's
+// bandwidth grid at 2,048 values. Re-uploading a name replaces its
+// contents if the size class still fits.
+func (d *Device) UploadConstant(name string, values []float32) (*ConstSymbol, error) {
+	bytes := len(values) * 4
+	if bytes > d.props.ConstCacheBytes {
+		return nil, fmt.Errorf("%w: %q needs %d bytes, cache working set is %d (max %d float32 values)",
+			ErrConstCacheExceeded, name, bytes, d.props.ConstCacheBytes, d.props.ConstCacheBytes/4)
+	}
+	prev := 0
+	if old, ok := d.constSyms[name]; ok {
+		prev = len(old.data) * 4
+	}
+	if d.constUsed-prev+bytes > d.props.ConstMemBytes {
+		return nil, fmt.Errorf("%w: %d bytes in use of %d", ErrConstMemExceeded, d.constUsed, d.props.ConstMemBytes)
+	}
+	sym := &ConstSymbol{name: name, data: append([]float32(nil), values...)}
+	d.constSyms[name] = sym
+	d.constUsed += bytes - prev
+	d.clock.Advance(d.props.MemcpyOverhead+float64(bytes)/d.props.PCIeBandwidth, "const upload "+name)
+	return sym, nil
+}
+
+// ResetStats zeroes the accumulated statistics (the modelled clock is not
+// reset; use Clock().Reset for that).
+func (d *Device) ResetStats() { d.stats = DeviceStats{} }

@@ -1,0 +1,300 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// LaunchConfig is the 1-D execution configuration (<<<grid, block>>>).
+type LaunchConfig struct {
+	GridDim  int // number of blocks
+	BlockDim int // threads per block
+}
+
+// Threads returns the total thread count of the launch.
+func (c LaunchConfig) Threads() int { return c.GridDim * c.BlockDim }
+
+// ConfigFor returns the launch configuration the paper uses: the total
+// number of threads equals the problem size and the block size is the
+// device maximum (512 on the paper's GPU, chosen there as the fastest).
+func ConfigFor(total int, p Properties) LaunchConfig {
+	block := p.MaxThreadsPerBlock
+	if total < block {
+		block = total
+	}
+	grid := (total + block - 1) / block
+	return LaunchConfig{GridDim: grid, BlockDim: block}
+}
+
+// KernelAttrs declares a kernel's static requirements. UsesBarrier selects
+// the execution engine: barrier-free kernels (like the paper's main
+// kernel, which "does not use shared memory or coordination across
+// threads") run on the fast sequential path; kernels that call
+// SyncThreads run each block's threads as concurrent goroutines with a
+// cyclic barrier.
+type KernelAttrs struct {
+	Name        string
+	UsesBarrier bool
+	SharedElems int // float32 elements of shared memory per block
+}
+
+// KernelFunc is the device program executed once per thread.
+type KernelFunc func(tc *ThreadCtx)
+
+// Launch-related errors.
+var (
+	ErrBadLaunch  = errors.New("gpu: invalid launch configuration")
+	ErrBarrierUse = errors.New("gpu: SyncThreads called in a kernel not declared with UsesBarrier")
+)
+
+// KernelPanicError wraps a panic raised inside device code, the
+// simulator's analogue of a device-side fault.
+type KernelPanicError struct {
+	Kernel string
+	Value  any
+}
+
+func (e *KernelPanicError) Error() string {
+	return fmt.Sprintf("gpu: kernel %q faulted: %v", e.Kernel, e.Value)
+}
+
+// Launch executes fn for every thread of the configuration, tallies the
+// work, advances the modelled clock by the kernel's modelled time, and
+// returns the launch tally. In planning mode Launch returns an error —
+// use LaunchPlanned with an analytic tally instead.
+func (d *Device) Launch(attrs KernelAttrs, cfg LaunchConfig, fn KernelFunc) (Tally, error) {
+	if d.mode != Functional {
+		return Tally{}, fmt.Errorf("gpu: Launch %q: %w", attrs.Name, ErrPlanningMode)
+	}
+	if err := d.checkLaunch(attrs, cfg); err != nil {
+		return Tally{}, err
+	}
+	var tally Tally
+	tally.Blocks = cfg.GridDim
+	tally.Threads = cfg.Threads()
+	warpsPerBlock := (cfg.BlockDim + d.props.WarpSize - 1) / d.props.WarpSize
+	tally.Warps = warpsPerBlock * cfg.GridDim
+
+	var launchErr error
+	for block := 0; block < cfg.GridDim && launchErr == nil; block++ {
+		var blockTally Tally
+		var err error
+		if attrs.UsesBarrier {
+			blockTally, err = d.runBlockConcurrent(attrs, cfg, block, fn)
+		} else {
+			blockTally, err = d.runBlockSequential(attrs, cfg, block, fn)
+		}
+		if err != nil {
+			launchErr = err
+			break
+		}
+		tally.ThreadOps += blockTally.ThreadOps
+		tally.WarpMaxOps += blockTally.WarpMaxOps
+		tally.GlobalRead += blockTally.GlobalRead
+		tally.GlobalWrite += blockTally.GlobalWrite
+		tally.GlobalReadEff += blockTally.GlobalReadEff
+		tally.GlobalWrEff += blockTally.GlobalWrEff
+		tally.ConstReads += blockTally.ConstReads
+		tally.SharedOps += blockTally.SharedOps
+		tally.Barriers += blockTally.Barriers
+		if blockTally.MaxSharedUsed > tally.MaxSharedUsed {
+			tally.MaxSharedUsed = blockTally.MaxSharedUsed
+		}
+	}
+	if launchErr != nil {
+		return Tally{}, launchErr
+	}
+	d.stats.Launches++
+	d.stats.KernelTally.Add(tally)
+	d.clock.Advance(KernelTime(d.props, tally), "kernel "+attrs.Name)
+	return tally, nil
+}
+
+// LaunchPlanned charges the clock and stats for a kernel described only by
+// an analytic tally — the planning-mode path used to cost paper-scale
+// problem sizes that are impractical to execute functionally on a host
+// CPU. The tally should come from the same closed-form counts that the
+// functional engine's measured tallies validate in tests.
+func (d *Device) LaunchPlanned(name string, t Tally) {
+	d.stats.Launches++
+	d.stats.KernelTally.Add(t)
+	d.clock.Advance(KernelTime(d.props, t), "kernel "+name)
+}
+
+func (d *Device) checkLaunch(attrs KernelAttrs, cfg LaunchConfig) error {
+	if cfg.GridDim <= 0 || cfg.BlockDim <= 0 {
+		return fmt.Errorf("%w: grid %d × block %d", ErrBadLaunch, cfg.GridDim, cfg.BlockDim)
+	}
+	if cfg.BlockDim > d.props.MaxThreadsPerBlock {
+		return fmt.Errorf("%w: block dim %d exceeds device max %d", ErrBadLaunch, cfg.BlockDim, d.props.MaxThreadsPerBlock)
+	}
+	if attrs.SharedElems*4 > d.props.SharedMemPerBlock {
+		return fmt.Errorf("%w: kernel %q requests %d bytes of shared memory, block limit is %d",
+			ErrBadLaunch, attrs.Name, attrs.SharedElems*4, d.props.SharedMemPerBlock)
+	}
+	return nil
+}
+
+// runBlockSequential executes one block's threads as a plain loop — valid
+// because the kernel declared no barrier, so no thread can depend on
+// another's progress within the block.
+func (d *Device) runBlockSequential(attrs KernelAttrs, cfg LaunchConfig, block int, fn KernelFunc) (t Tally, err error) {
+	var shared []float32
+	if attrs.SharedElems > 0 {
+		shared = make([]float32, attrs.SharedElems)
+	}
+	tc := &ThreadCtx{dev: d, attrs: attrs, cfg: cfg, blockIdx: block, shared: shared}
+	warp := d.props.WarpSize
+	var warpMax int64
+	for th := 0; th < cfg.BlockDim; th++ {
+		tc.threadIdx = th
+		tc.ops = 0
+		if err = d.invoke(attrs, tc, fn); err != nil {
+			return Tally{}, err
+		}
+		t.ThreadOps += tc.ops
+		if tc.ops > warpMax {
+			warpMax = tc.ops
+		}
+		if (th+1)%warp == 0 || th == cfg.BlockDim-1 {
+			t.WarpMaxOps += warpMax
+			warpMax = 0
+		}
+		t.GlobalRead += tc.globalRead
+		t.GlobalWrite += tc.globalWrite
+		t.GlobalReadEff += tc.effRead
+		t.GlobalWrEff += tc.effWrite
+		t.ConstReads += tc.constReads
+		t.SharedOps += tc.sharedOps
+		tc.globalRead, tc.globalWrite, tc.effRead, tc.effWrite, tc.constReads, tc.sharedOps = 0, 0, 0, 0, 0, 0
+		if tc.maxShared > t.MaxSharedUsed {
+			t.MaxSharedUsed = tc.maxShared
+		}
+	}
+	return t, nil
+}
+
+// runBlockConcurrent executes one block's threads as goroutines so that
+// SyncThreads barriers behave like the hardware's.
+func (d *Device) runBlockConcurrent(attrs KernelAttrs, cfg LaunchConfig, block int, fn KernelFunc) (Tally, error) {
+	var shared []float32
+	if attrs.SharedElems > 0 {
+		shared = make([]float32, attrs.SharedElems)
+	}
+	bar := newBarrier(cfg.BlockDim)
+	ctxs := make([]*ThreadCtx, cfg.BlockDim)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	races := newRaceTracker()
+	for th := 0; th < cfg.BlockDim; th++ {
+		tc := &ThreadCtx{
+			dev: d, attrs: attrs, cfg: cfg,
+			blockIdx: block, threadIdx: th,
+			shared: shared, barrier: bar,
+			sharedMu: &mu,
+			races:    races,
+		}
+		ctxs[th] = tc
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer bar.leave()
+			if err := d.invoke(attrs, tc, fn); err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return Tally{}, firstErr
+	}
+	var t Tally
+	warp := d.props.WarpSize
+	var warpMax int64
+	for th, tc := range ctxs {
+		t.ThreadOps += tc.ops
+		if tc.ops > warpMax {
+			warpMax = tc.ops
+		}
+		if (th+1)%warp == 0 || th == cfg.BlockDim-1 {
+			t.WarpMaxOps += warpMax
+			warpMax = 0
+		}
+		t.GlobalRead += tc.globalRead
+		t.GlobalWrite += tc.globalWrite
+		t.GlobalReadEff += tc.effRead
+		t.GlobalWrEff += tc.effWrite
+		t.ConstReads += tc.constReads
+		t.SharedOps += tc.sharedOps
+		t.Barriers += tc.barriers
+		if tc.maxShared > t.MaxSharedUsed {
+			t.MaxSharedUsed = tc.maxShared
+		}
+	}
+	return t, nil
+}
+
+// invoke runs one thread's kernel body, converting panics into
+// KernelPanicError.
+func (d *Device) invoke(attrs KernelAttrs, tc *ThreadCtx, fn KernelFunc) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &KernelPanicError{Kernel: attrs.Name, Value: r}
+		}
+	}()
+	fn(tc)
+	return nil
+}
+
+// barrier is a cyclic barrier whose participant count shrinks when threads
+// exit, matching the (loose) CUDA semantics that returned threads no
+// longer take part in __syncthreads.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until every live participant has arrived.
+func (b *barrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting >= b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+		return
+	}
+	for phase == b.phase {
+		b.cond.Wait()
+	}
+}
+
+// leave removes a participant (thread exit); if the remaining waiters now
+// satisfy the barrier, release them.
+func (b *barrier) leave() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.parties--
+	if b.parties > 0 && b.waiting >= b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+	}
+}

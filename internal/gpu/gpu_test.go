@@ -1,0 +1,745 @@
+package gpu
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testDevice(t *testing.T, mode Mode) *Device {
+	t.Helper()
+	d, err := NewDevice(TeslaS10(), mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestPropertiesValidate(t *testing.T) {
+	good := TeslaS10()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Properties){
+		func(p *Properties) { p.SMCount = 0 },
+		func(p *Properties) { p.ClockHz = 0 },
+		func(p *Properties) { p.WarpSize = 0 },
+		func(p *Properties) { p.MaxThreadsPerBlock = 100 }, // not a warp multiple
+		func(p *Properties) { p.GlobalMemBytes = 0 },
+		func(p *Properties) { p.ConstCacheBytes = p.ConstMemBytes + 1 },
+		func(p *Properties) { p.MemBandwidth = 0 },
+		func(p *Properties) { p.TransactionBytes = 2 },
+		func(p *Properties) { p.CyclesPerOp = 0 },
+	}
+	for i, mut := range mutations {
+		p := TeslaS10()
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d should invalidate properties", i)
+		}
+	}
+	if good.Cores() != 240 {
+		t.Errorf("Tesla S10 should have 240 cores, got %d", good.Cores())
+	}
+	if good.Throughput() <= 0 {
+		t.Error("throughput should be positive")
+	}
+}
+
+func TestAllocatorBasic(t *testing.T) {
+	a := newAllocator(1 << 20)
+	off1, err := a.alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := a.alloc(1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 == off2 {
+		t.Error("allocations overlap")
+	}
+	info := a.info()
+	if info.Used != 2048 { // two 1000-byte blocks, 256-aligned to 1024 each
+		t.Errorf("used = %d, want 2048", info.Used)
+	}
+	if info.Allocs != 2 {
+		t.Errorf("allocs = %d", info.Allocs)
+	}
+	a.release(off1, 1000)
+	a.release(off2, 1000)
+	if got := a.info(); got.Used != 0 || got.Largest != 1<<20 {
+		t.Errorf("after free: %+v (free list should coalesce back to one span)", got)
+	}
+	if got := a.info(); got.Peak != 2048 {
+		t.Errorf("peak = %d", got.Peak)
+	}
+}
+
+func TestAllocatorOOM(t *testing.T) {
+	a := newAllocator(4096)
+	if _, err := a.alloc(5000); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("expected OOM, got %v", err)
+	}
+	if _, err := a.alloc(0); err == nil {
+		t.Error("zero-size alloc should fail")
+	}
+}
+
+func TestAllocatorFragmentation(t *testing.T) {
+	a := newAllocator(3 * 1024)
+	o1, _ := a.alloc(1024)
+	o2, _ := a.alloc(1024)
+	o3, _ := a.alloc(1024)
+	_ = o2
+	a.release(o1, 1024)
+	a.release(o3, 1024)
+	// 2 KB free but split into two 1 KB holes: a 2 KB request must fail.
+	if _, err := a.alloc(2048); !errors.Is(err, ErrOutOfMemory) {
+		t.Error("fragmented allocator should fail a 2 KB request")
+	}
+	if a.largestFree() != 1024 {
+		t.Errorf("largest free = %d", a.largestFree())
+	}
+}
+
+func TestAllocatorCoalesceMiddle(t *testing.T) {
+	a := newAllocator(3 * 1024)
+	o1, _ := a.alloc(1024)
+	o2, _ := a.alloc(1024)
+	o3, _ := a.alloc(1024)
+	a.release(o1, 1024)
+	a.release(o3, 1024)
+	a.release(o2, 1024) // middle free must bridge both holes
+	if a.largestFree() != 3*1024 {
+		t.Errorf("coalescing failed: largest = %d", a.largestFree())
+	}
+}
+
+func TestDeviceMallocFree(t *testing.T) {
+	d := testDevice(t, Functional)
+	b, err := d.Malloc(100, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Elems() != 100 || b.Bytes() != 400 {
+		t.Errorf("buffer geometry wrong: %d elems %d bytes", b.Elems(), b.Bytes())
+	}
+	if err := d.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Free(b); !errors.Is(err, ErrInvalidBuffer) {
+		t.Error("double free should fail")
+	}
+	if _, err := d.Malloc(0, "zero"); err == nil {
+		t.Error("zero-size malloc should fail")
+	}
+}
+
+func TestDeviceOOMCliff(t *testing.T) {
+	d := testDevice(t, Planning)
+	// Two n×n float32 matrices at n = 23,200 exceed 4 GB.
+	n := 23200
+	if _, err := d.Malloc(n*n, "m1"); err != nil {
+		t.Fatalf("first matrix should fit: %v", err)
+	}
+	if _, err := d.Malloc(n*n, "m2"); !errors.Is(err, ErrOutOfMemory) {
+		t.Error("second matrix should OOM")
+	}
+}
+
+func TestMemcpyRoundTrip(t *testing.T) {
+	d := testDevice(t, Functional)
+	b, err := d.Malloc(8, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []float32{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := d.CopyToDevice(b, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float32, 8)
+	if err := d.CopyFromDevice(dst, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		if dst[i] != src[i] {
+			t.Fatalf("memcpy corrupted data at %d", i)
+		}
+	}
+	if d.Stats().Memcpys != 2 || d.Stats().BytesH2D != 32 || d.Stats().BytesD2H != 32 {
+		t.Errorf("memcpy stats wrong: %+v", d.Stats())
+	}
+	if err := d.CopyToDevice(b, make([]float32, 9)); err == nil {
+		t.Error("oversized memcpy should fail")
+	}
+	if err := d.CopyFromDevice(make([]float32, 9), b); err == nil {
+		t.Error("oversized readback should fail")
+	}
+}
+
+func TestMemcpyPlanningMode(t *testing.T) {
+	d := testDevice(t, Planning)
+	b, err := d.Malloc(4, "buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copies succeed (and charge time) but move no data.
+	if err := d.CopyToDevice(b, []float32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	dst := []float32{9, 9, 9, 9}
+	if err := d.CopyFromDevice(dst, b); err != nil {
+		t.Fatal(err)
+	}
+	if dst[0] != 9 {
+		t.Error("planning mode must not touch host data")
+	}
+	if _, err := d.data(b); !errors.Is(err, ErrPlanningMode) {
+		t.Error("data access in planning mode should fail")
+	}
+}
+
+func TestConstantMemoryLimits(t *testing.T) {
+	d := testDevice(t, Functional)
+	// Exactly 2048 float32s fit the 8 KB cache working set.
+	if _, err := d.UploadConstant("bw", make([]float32, 2048)); err != nil {
+		t.Fatalf("2048 constants should fit: %v", err)
+	}
+	if _, err := d.UploadConstant("bw2", make([]float32, 2049)); !errors.Is(err, ErrConstCacheExceeded) {
+		t.Error("2049 constants should exceed the cache working set")
+	}
+	// Total constant memory (64 KB = 16384 floats) across symbols.
+	for i := 0; i < 6; i++ {
+		name := string(rune('a' + i))
+		if _, err := d.UploadConstant(name, make([]float32, 2048)); err != nil {
+			t.Fatalf("symbol %d: %v", i, err)
+		}
+	}
+	// 7 × 2048 + the original 2048 = 16384 floats = 64 KB used in full.
+	if _, err := d.UploadConstant("g", make([]float32, 2048)); err != nil {
+		t.Fatalf("final symbol filling constant memory: %v", err)
+	}
+	if _, err := d.UploadConstant("h", make([]float32, 1)); !errors.Is(err, ErrConstMemExceeded) {
+		t.Error("constant memory should now be exhausted")
+	}
+	// Re-uploading an existing symbol of the same size must succeed.
+	if _, err := d.UploadConstant("bw", make([]float32, 2048)); err != nil {
+		t.Errorf("re-upload should replace, not accumulate: %v", err)
+	}
+}
+
+func TestConstSymbolAccess(t *testing.T) {
+	d := testDevice(t, Functional)
+	sym, err := d.UploadConstant("vals", []float32{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sym.Len() != 3 || sym.At(1) != 20 {
+		t.Error("constant symbol contents wrong")
+	}
+}
+
+func TestLaunchSequentialKernel(t *testing.T) {
+	d := testDevice(t, Functional)
+	n := 1000
+	buf, err := d.Malloc(n, "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ConfigFor(n, d.Props())
+	tally, err := d.Launch(KernelAttrs{Name: "fill"}, cfg, func(tc *ThreadCtx) {
+		id := tc.GlobalID()
+		if id >= n {
+			return
+		}
+		tc.Store(buf, id, float32(id)*2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]float32, n)
+	if err := d.CopyFromDevice(host, buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range host {
+		if host[i] != float32(i)*2 {
+			t.Fatalf("kernel output wrong at %d: %v", i, host[i])
+		}
+	}
+	if tally.Threads != cfg.Threads() || tally.Blocks != cfg.GridDim {
+		t.Errorf("tally geometry wrong: %+v", tally)
+	}
+	if tally.GlobalWrite != int64(n*4) {
+		t.Errorf("global write bytes = %d, want %d", tally.GlobalWrite, n*4)
+	}
+	if tally.ThreadOps != int64(n) { // one Store op per live thread
+		t.Errorf("thread ops = %d, want %d", tally.ThreadOps, n)
+	}
+	if d.Stats().Launches != 1 {
+		t.Error("launch not recorded")
+	}
+}
+
+func TestLaunchConfigValidation(t *testing.T) {
+	d := testDevice(t, Functional)
+	noop := func(tc *ThreadCtx) {}
+	if _, err := d.Launch(KernelAttrs{Name: "bad"}, LaunchConfig{GridDim: 0, BlockDim: 1}, noop); !errors.Is(err, ErrBadLaunch) {
+		t.Error("zero grid should fail")
+	}
+	if _, err := d.Launch(KernelAttrs{Name: "bad"}, LaunchConfig{GridDim: 1, BlockDim: 1024}, noop); !errors.Is(err, ErrBadLaunch) {
+		t.Error("block beyond device max should fail")
+	}
+	tooMuchShared := KernelAttrs{Name: "bad", SharedElems: 5000} // 20 KB > 16 KB
+	if _, err := d.Launch(tooMuchShared, LaunchConfig{GridDim: 1, BlockDim: 32}, noop); !errors.Is(err, ErrBadLaunch) {
+		t.Error("oversized shared memory should fail")
+	}
+}
+
+func TestConfigFor(t *testing.T) {
+	p := TeslaS10()
+	cfg := ConfigFor(1000, p)
+	if cfg.BlockDim != 512 || cfg.GridDim != 2 {
+		t.Errorf("ConfigFor(1000) = %+v", cfg)
+	}
+	small := ConfigFor(10, p)
+	if small.BlockDim != 10 || small.GridDim != 1 {
+		t.Errorf("ConfigFor(10) = %+v", small)
+	}
+}
+
+func TestBarrierReduction(t *testing.T) {
+	// A block-wide tree reduction: correctness proves the barrier
+	// provides proper synchronisation between phases.
+	d := testDevice(t, Functional)
+	const T = 128
+	in, _ := d.Malloc(T, "in")
+	out, _ := d.Malloc(1, "out")
+	host := make([]float32, T)
+	var want float32
+	for i := range host {
+		host[i] = float32(i + 1)
+		want += host[i]
+	}
+	if err := d.CopyToDevice(in, host); err != nil {
+		t.Fatal(err)
+	}
+	attrs := KernelAttrs{Name: "reduce", UsesBarrier: true, SharedElems: T}
+	_, err := d.Launch(attrs, LaunchConfig{GridDim: 1, BlockDim: T}, func(tc *ThreadCtx) {
+		tid := tc.ThreadIdx()
+		tc.SharedStore(tid, tc.Load(in, tid))
+		tc.SyncThreads()
+		for s := T / 2; s > 0; s /= 2 {
+			if tid < s {
+				tc.SharedStore(tid, tc.SharedLoad(tid)+tc.SharedLoad(tid+s))
+			}
+			tc.SyncThreads()
+		}
+		if tid == 0 {
+			tc.Store(out, 0, tc.SharedLoad(0))
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 1)
+	if err := d.CopyFromDevice(got, out); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != want {
+		t.Errorf("reduction = %v, want %v", got[0], want)
+	}
+}
+
+func TestBarrierWithEarlyExit(t *testing.T) {
+	// Threads above a cutoff return immediately; the rest must still
+	// pass their barriers (participant count shrinks on exit).
+	d := testDevice(t, Functional)
+	const T = 64
+	out, _ := d.Malloc(T, "out")
+	attrs := KernelAttrs{Name: "earlyExit", UsesBarrier: true, SharedElems: T}
+	_, err := d.Launch(attrs, LaunchConfig{GridDim: 1, BlockDim: T}, func(tc *ThreadCtx) {
+		tid := tc.ThreadIdx()
+		if tid >= T/2 {
+			return // exits before any barrier
+		}
+		tc.SharedStore(tid, float32(tid))
+		tc.SyncThreads()
+		tc.Store(out, tid, tc.SharedLoad(tid)+1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, T)
+	_ = d.CopyFromDevice(got, out)
+	for i := 0; i < T/2; i++ {
+		if got[i] != float32(i)+1 {
+			t.Fatalf("surviving thread %d wrote %v", i, got[i])
+		}
+	}
+}
+
+func TestSyncThreadsWithoutBarrierDeclFaults(t *testing.T) {
+	d := testDevice(t, Functional)
+	_, err := d.Launch(KernelAttrs{Name: "oops"}, LaunchConfig{GridDim: 1, BlockDim: 4}, func(tc *ThreadCtx) {
+		tc.SyncThreads()
+	})
+	var kp *KernelPanicError
+	if !errors.As(err, &kp) {
+		t.Fatalf("expected KernelPanicError, got %v", err)
+	}
+	if !strings.Contains(kp.Error(), "oops") {
+		t.Errorf("error should name the kernel: %v", kp)
+	}
+}
+
+func TestKernelFaults(t *testing.T) {
+	d := testDevice(t, Functional)
+	buf, _ := d.Malloc(4, "buf")
+	cases := map[string]KernelFunc{
+		"oob-load":     func(tc *ThreadCtx) { tc.Load(buf, 10) },
+		"oob-store":    func(tc *ThreadCtx) { tc.Store(buf, -1, 0) },
+		"oob-slice":    func(tc *ThreadCtx) { tc.GlobalSlice(buf, 2, 10) },
+		"freed-buffer": func(tc *ThreadCtx) { tc.Load(Buffer{id: 999}, 0) },
+		"oob-shared":   func(tc *ThreadCtx) { tc.SharedLoad(99) },
+	}
+	for name, fn := range cases {
+		_, err := d.Launch(KernelAttrs{Name: name, SharedElems: 4}, LaunchConfig{GridDim: 1, BlockDim: 1}, fn)
+		var kp *KernelPanicError
+		if !errors.As(err, &kp) {
+			t.Errorf("%s: expected a kernel fault, got %v", name, err)
+		}
+	}
+}
+
+func TestLaunchInPlanningModeFails(t *testing.T) {
+	d := testDevice(t, Planning)
+	_, err := d.Launch(KernelAttrs{Name: "nope"}, LaunchConfig{GridDim: 1, BlockDim: 1}, func(tc *ThreadCtx) {})
+	if !errors.Is(err, ErrPlanningMode) {
+		t.Errorf("expected ErrPlanningMode, got %v", err)
+	}
+}
+
+func TestLaunchPlanned(t *testing.T) {
+	d := testDevice(t, Planning)
+	before := d.Clock().Seconds()
+	tally := Tally{WarpMaxOps: 1 << 20, GlobalReadEff: 1 << 28}
+	d.LaunchPlanned("synthetic", tally)
+	if d.Clock().Seconds() <= before {
+		t.Error("planned launch should advance the clock")
+	}
+	if d.Stats().Launches != 1 || d.Stats().KernelTally.WarpMaxOps != 1<<20 {
+		t.Errorf("planned launch stats wrong: %+v", d.Stats())
+	}
+}
+
+func TestKernelTimeRoofline(t *testing.T) {
+	p := TeslaS10()
+	computeBound := Tally{WarpMaxOps: 1 << 30}
+	memBound := Tally{GlobalReadEff: 1 << 38}
+	tc := KernelTime(p, computeBound)
+	tm := KernelTime(p, memBound)
+	if tc <= p.LaunchOverhead || tm <= p.LaunchOverhead {
+		t.Error("kernel times should exceed the launch overhead")
+	}
+	// Compute bound: warpMaxOps × warpSize/cores / (SMs × clock).
+	wantC := float64(1<<30)*32/8/(30*1.3e9) + p.LaunchOverhead
+	if math.Abs(tc-wantC)/wantC > 1e-9 {
+		t.Errorf("compute-bound time = %v, want %v", tc, wantC)
+	}
+	wantM := float64(int64(1)<<38)/p.MemBandwidth + p.LaunchOverhead
+	if math.Abs(tm-wantM)/wantM > 1e-9 {
+		t.Errorf("memory-bound time = %v, want %v", tm, wantM)
+	}
+	// The roofline takes the max, not the sum.
+	both := Tally{WarpMaxOps: 1 << 30, GlobalReadEff: 1 << 38}
+	if got := KernelTime(p, both); math.Abs(got-wantM)/wantM > 1e-6 {
+		t.Errorf("roofline should be the max: %v vs %v", got, wantM)
+	}
+}
+
+func TestUncoalescedChargesTransactions(t *testing.T) {
+	d := testDevice(t, Functional)
+	buf, _ := d.Malloc(64, "buf")
+	tally, err := d.Launch(KernelAttrs{Name: "patterns"}, LaunchConfig{GridDim: 1, BlockDim: 1}, func(tc *ThreadCtx) {
+		tc.SetAccessPattern(Coalesced)
+		tc.Load(buf, 0) // 4 eff bytes
+		tc.SetAccessPattern(Uncoalesced)
+		tc.Load(buf, 1)         // 64 eff bytes
+		tc.ChargeGlobalWrite(8) // 2 elements uncoalesced → 128 eff
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.GlobalRead != 8 || tally.GlobalReadEff != 68 {
+		t.Errorf("read charging wrong: raw %d eff %d", tally.GlobalRead, tally.GlobalReadEff)
+	}
+	if tally.GlobalWrite != 8 || tally.GlobalWrEff != 128 {
+		t.Errorf("write charging wrong: raw %d eff %d", tally.GlobalWrite, tally.GlobalWrEff)
+	}
+}
+
+func TestWarpMaxOpsDivergence(t *testing.T) {
+	// One thread in the warp does 100× the work: WarpMaxOps must reflect
+	// the maximum, not the mean.
+	d := testDevice(t, Functional)
+	tally, err := d.Launch(KernelAttrs{Name: "diverge"}, LaunchConfig{GridDim: 1, BlockDim: 32}, func(tc *ThreadCtx) {
+		if tc.ThreadIdx() == 0 {
+			tc.ChargeOps(3200)
+		} else {
+			tc.ChargeOps(32)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tally.WarpMaxOps != 3200 {
+		t.Errorf("WarpMaxOps = %d, want 3200", tally.WarpMaxOps)
+	}
+	if tally.ThreadOps != 3200+31*32 {
+		t.Errorf("ThreadOps = %d", tally.ThreadOps)
+	}
+	ratio := tally.DivergenceRatio(32)
+	if ratio < 20 {
+		t.Errorf("divergence ratio = %v, want ≈ 24", ratio)
+	}
+}
+
+func TestClockLedger(t *testing.T) {
+	c := NewClock()
+	c.Advance(1.5, "kernel main")
+	c.Advance(0.5, "memcpy H2D x")
+	c.Advance(0.25, "memcpy D2H y")
+	if c.Seconds() != 2.25 {
+		t.Errorf("total = %v", c.Seconds())
+	}
+	by := c.ByLabel()
+	if by["kernel"] != 1.5 || by["memcpy"] != 0.75 {
+		t.Errorf("ByLabel = %v", by)
+	}
+	if len(c.Events()) != 3 {
+		t.Error("ledger should record all events")
+	}
+	c.Reset()
+	if c.Seconds() != 0 || len(c.Events()) != 0 {
+		t.Error("Reset should clear the ledger")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance should panic")
+		}
+	}()
+	c.Advance(-1, "bad")
+}
+
+func TestDeviceInitChargesOverhead(t *testing.T) {
+	d := testDevice(t, Functional)
+	if d.Clock().Seconds() < TeslaS10().InitOverhead {
+		t.Error("device creation should charge the init overhead")
+	}
+}
+
+func TestTallyAdd(t *testing.T) {
+	a := Tally{ThreadOps: 1, GlobalRead: 2, SharedOps: 3, MaxSharedUsed: 10}
+	b := Tally{ThreadOps: 10, GlobalRead: 20, SharedOps: 30, MaxSharedUsed: 5, Barriers: 7}
+	a.Add(b)
+	if a.ThreadOps != 11 || a.GlobalRead != 22 || a.SharedOps != 33 || a.Barriers != 7 {
+		t.Errorf("Add wrong: %+v", a)
+	}
+	if a.MaxSharedUsed != 10 {
+		t.Error("MaxSharedUsed should take the max")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Functional.String() != "functional" || Planning.String() != "planning" {
+		t.Error("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Error("unknown mode should still stringify")
+	}
+}
+
+func TestResetStats(t *testing.T) {
+	d := testDevice(t, Functional)
+	b, _ := d.Malloc(4, "x")
+	_ = d.CopyToDevice(b, []float32{1})
+	d.ResetStats()
+	if d.Stats().Memcpys != 0 {
+		t.Error("ResetStats should zero counters")
+	}
+}
+
+func TestSequentialVsConcurrentEquivalence(t *testing.T) {
+	// The same barrier-free kernel run through both engines must produce
+	// identical results and identical tallies.
+	run := func(useBarrierEngine bool) ([]float32, Tally) {
+		d := testDevice(t, Functional)
+		n := 256
+		buf, _ := d.Malloc(n, "out")
+		attrs := KernelAttrs{Name: "square", UsesBarrier: useBarrierEngine}
+		tally, err := d.Launch(attrs, LaunchConfig{GridDim: 2, BlockDim: 128}, func(tc *ThreadCtx) {
+			id := tc.GlobalID()
+			v := float32(id)
+			tc.ChargeOps(1)
+			tc.Store(buf, id, v*v)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		host := make([]float32, n)
+		_ = d.CopyFromDevice(host, buf)
+		return host, tally
+	}
+	seqOut, seqTally := run(false)
+	conOut, conTally := run(true)
+	for i := range seqOut {
+		if seqOut[i] != conOut[i] {
+			t.Fatalf("engines disagree at %d", i)
+		}
+	}
+	if seqTally.ThreadOps != conTally.ThreadOps || seqTally.WarpMaxOps != conTally.WarpMaxOps ||
+		seqTally.GlobalWrite != conTally.GlobalWrite {
+		t.Errorf("tallies differ: %+v vs %+v", seqTally, conTally)
+	}
+}
+
+func TestSharedMemoryRaceDetector(t *testing.T) {
+	d := testDevice(t, Functional)
+	attrs := KernelAttrs{Name: "racy", UsesBarrier: true, SharedElems: 8}
+	cfg := LaunchConfig{GridDim: 1, BlockDim: 8}
+
+	// Write-write race: every thread writes index 0 with no barrier.
+	_, err := d.Launch(attrs, cfg, func(tc *ThreadCtx) {
+		tc.SharedStore(0, float32(tc.ThreadIdx()))
+	})
+	var kp *KernelPanicError
+	if !errors.As(err, &kp) || !strings.Contains(kp.Error(), "write-write race") {
+		t.Errorf("write-write race not detected: %v", err)
+	}
+
+	// Read-write race: thread 0 writes index 1 while thread 1 reads it,
+	// no barrier in between.
+	_, err = d.Launch(attrs, cfg, func(tc *ThreadCtx) {
+		switch tc.ThreadIdx() {
+		case 0:
+			tc.SharedStore(1, 42)
+			// Hold the phase open long enough that thread 1's read
+			// lands after the write is recorded.
+			for i := 0; i < 100; i++ {
+				tc.ChargeOps(1)
+			}
+		case 1:
+			for i := 0; i < 1000; i++ {
+				tc.ChargeOps(1)
+			}
+			tc.SharedLoad(1)
+		}
+		tc.SyncThreads()
+	})
+	// The race is timing-dependent in a真 concurrent engine, but with the
+	// tracker it is caught whenever the write precedes the read; if the
+	// read happened first the run is silently clean — accept either a
+	// detected race or success, but never a wrong value.
+	if err != nil && !strings.Contains(err.Error(), "race") {
+		t.Errorf("unexpected error: %v", err)
+	}
+
+	// A properly synchronised kernel stays clean.
+	_, err = d.Launch(attrs, cfg, func(tc *ThreadCtx) {
+		tid := tc.ThreadIdx()
+		tc.SharedStore(tid, float32(tid))
+		tc.SyncThreads()
+		_ = tc.SharedLoad((tid + 1) % 8)
+	})
+	if err != nil {
+		t.Errorf("synchronised kernel flagged: %v", err)
+	}
+}
+
+func TestMemsetAndD2D(t *testing.T) {
+	d := testDevice(t, Functional)
+	a, _ := d.Malloc(8, "a")
+	b, _ := d.Malloc(8, "b")
+	if err := d.Memset(a, 2.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyDeviceToDevice(b, a); err != nil {
+		t.Fatal(err)
+	}
+	host := make([]float32, 8)
+	_ = d.CopyFromDevice(host, b)
+	for i, v := range host {
+		if v != 2.5 {
+			t.Fatalf("D2D copy wrong at %d: %v", i, v)
+		}
+	}
+	small, _ := d.Malloc(4, "small")
+	if err := d.CopyDeviceToDevice(small, a); err == nil {
+		t.Error("undersized destination should fail")
+	}
+	_ = d.Free(a)
+	if err := d.Memset(a, 0); !errors.Is(err, ErrInvalidBuffer) {
+		t.Error("memset of freed buffer should fail")
+	}
+	if err := d.CopyDeviceToDevice(b, a); !errors.Is(err, ErrInvalidBuffer) {
+		t.Error("D2D from freed buffer should fail")
+	}
+	// Planning mode charges time without touching data.
+	dp := testDevice(t, Planning)
+	pa, _ := dp.Malloc(1024, "pa")
+	before := dp.Clock().Seconds()
+	if err := dp.Memset(pa, 1); err != nil {
+		t.Fatal(err)
+	}
+	if dp.Clock().Seconds() <= before {
+		t.Error("planning memset should advance the clock")
+	}
+}
+
+func TestKernelTimeWaveQuantisation(t *testing.T) {
+	// The same warp work in 1 block cannot use all 30 SMs; in 30 blocks
+	// it can — the modelled time must differ by the SM count.
+	p := TeslaS10()
+	oneBlock := Tally{Blocks: 1, WarpMaxOps: 1 << 28}
+	manyBlocks := Tally{Blocks: 30, WarpMaxOps: 1 << 28}
+	t1 := KernelTime(p, oneBlock) - p.LaunchOverhead
+	t30 := KernelTime(p, manyBlocks) - p.LaunchOverhead
+	ratio := t1 / t30
+	if ratio < 29 || ratio > 31 {
+		t.Errorf("1-block/30-block time ratio = %v, want ≈ 30", ratio)
+	}
+	// More blocks than SMs saturate at SMCount.
+	excess := Tally{Blocks: 300, WarpMaxOps: 1 << 28}
+	if KernelTime(p, excess) != KernelTime(p, manyBlocks) {
+		t.Error("beyond-SM-count blocks should not change the compute bound")
+	}
+}
+
+func TestAtomicAddBasics(t *testing.T) {
+	d := testDevice(t, Functional)
+	buf, _ := d.Malloc(2, "acc")
+	tally, err := d.Launch(KernelAttrs{Name: "atomics", UsesBarrier: true}, LaunchConfig{GridDim: 1, BlockDim: 64}, func(tc *ThreadCtx) {
+		tc.AtomicAdd(buf, 0, 1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]float32, 2)
+	_ = d.CopyFromDevice(host, buf)
+	if host[0] != 64 {
+		t.Errorf("64 atomic increments = %v", host[0])
+	}
+	if tally.GlobalRead == 0 || tally.GlobalWrite == 0 {
+		t.Error("atomics should charge global traffic")
+	}
+	// Bounds and liveness faults.
+	_, err = d.Launch(KernelAttrs{Name: "atomicOOB"}, LaunchConfig{GridDim: 1, BlockDim: 1}, func(tc *ThreadCtx) {
+		tc.AtomicAdd(buf, 5, 1)
+	})
+	var kp *KernelPanicError
+	if !errors.As(err, &kp) {
+		t.Errorf("out-of-bounds atomic should fault: %v", err)
+	}
+}

@@ -1,0 +1,146 @@
+// Package gpu is a software simulator of a CUDA-era GPU: an SPMD execution
+// engine with blocks, warps and barriers, a global-memory allocator with
+// real capacity accounting, constant memory with the small cached working
+// set that early devices had, and an analytic timing model driven by
+// per-thread operation tallies.
+//
+// It exists because this reproduction targets Go, which has no GPU
+// ecosystem: the paper's second contribution is an algorithm mapped onto
+// the SPMD model, and the simulator executes that exact device program
+// while reproducing the two capacity cliffs the paper reports (≤ 2,048
+// bandwidths from the 8 KB constant cache; out-of-memory above n = 20,000
+// from the two n×n float32 scratch matrices on a 4 GB device) and
+// modelling run time from first principles.
+package gpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Properties describes the simulated device. The fields mirror the CUDA
+// device attributes the paper's program depends on, plus the calibration
+// constants for the timing model.
+type Properties struct {
+	Name string
+
+	// Compute resources.
+	SMCount            int     // streaming multiprocessors
+	CoresPerSM         int     // scalar cores per SM
+	ClockHz            float64 // core clock
+	WarpSize           int     // threads per warp
+	MaxThreadsPerBlock int
+
+	// Memory capacities.
+	GlobalMemBytes    int64 // device global memory
+	SharedMemPerBlock int   // shared memory per block, bytes
+	ConstMemBytes     int   // total constant memory
+	ConstCacheBytes   int   // cached constant working set (8 KB on the paper's GPUs)
+
+	// Timing-model calibration.
+	MemBandwidth     float64 // global memory bandwidth, bytes/s
+	TransactionBytes int     // minimum global-memory transaction size (64 on GDDR-era parts)
+	PCIeBandwidth    float64 // host<->device copy bandwidth, bytes/s
+	InitOverhead     float64 // one-time context creation cost, seconds
+	LaunchOverhead   float64 // per kernel launch, seconds
+	MallocOverhead   float64 // per cudaMalloc/cudaFree call, seconds
+	MemcpyOverhead   float64 // per memcpy call, seconds
+	CyclesPerOp      float64 // average issue cost of one tallied operation
+}
+
+// TeslaS10 returns the profile of the paper's device: a Tesla S10 unit
+// (T10 GPU) with 240 streaming cores and 4 GB of device memory, compute
+// capability 1.3 — 512 threads per block maximum, 16 KB shared memory,
+// 64 KB constant memory with an 8 KB cached working set. Bandwidth and
+// overhead constants are calibrated so the modelled run times land in the
+// paper's measured range (Table I/II); see internal/harness.
+func TeslaS10() Properties {
+	return Properties{
+		Name:               "Tesla S10 (simulated)",
+		SMCount:            30,
+		CoresPerSM:         8,
+		ClockHz:            1.30e9,
+		WarpSize:           32,
+		MaxThreadsPerBlock: 512,
+		GlobalMemBytes:     4 << 30,
+		SharedMemPerBlock:  16 << 10,
+		ConstMemBytes:      64 << 10,
+		ConstCacheBytes:    8 << 10,
+		MemBandwidth:       51e9, // ~half of the 102 GB/s GDDR3 peak, the sustainable rate
+		TransactionBytes:   64,
+		PCIeBandwidth:      4.0e9,
+		InitOverhead:       0.072,
+		LaunchOverhead:     8e-6,
+		MallocOverhead:     1.2e-3,
+		MemcpyOverhead:     12e-6,
+		CyclesPerOp:        1.0,
+	}
+}
+
+// ModernDataCenter returns a profile in the class of a current
+// data-centre accelerator — the paper's "later versions of this study
+// will ... make use of more recent compute capability GPUs" projected
+// forward: ~17× the core count at a similar clock, 80 GB of HBM at
+// ~2 TB/s with 32-byte transaction granularity, PCIe 4.0 transfers, and
+// far cheaper context/allocation overheads. Running the planner under
+// this profile shows how the paper's two walls move: the memory cliff
+// retreats past n = 100,000 and the modelled times collapse.
+func ModernDataCenter() Properties {
+	return Properties{
+		Name:               "modern data-centre GPU (simulated)",
+		SMCount:            128,
+		CoresPerSM:         32,
+		ClockHz:            1.41e9,
+		WarpSize:           32,
+		MaxThreadsPerBlock: 1024,
+		GlobalMemBytes:     80 << 30,
+		SharedMemPerBlock:  160 << 10,
+		ConstMemBytes:      64 << 10,
+		ConstCacheBytes:    64 << 10, // the 8 KB working-set limit is long gone
+		MemBandwidth:       1.6e12,
+		TransactionBytes:   32,
+		PCIeBandwidth:      24e9,
+		InitOverhead:       0.04,
+		LaunchOverhead:     4e-6,
+		MallocOverhead:     2e-4,
+		MemcpyOverhead:     6e-6,
+		CyclesPerOp:        1.0,
+	}
+}
+
+// Validate checks that the properties are internally consistent.
+func (p Properties) Validate() error {
+	switch {
+	case p.SMCount <= 0 || p.CoresPerSM <= 0:
+		return fmt.Errorf("gpu: device needs positive SM/core counts, have %d×%d", p.SMCount, p.CoresPerSM)
+	case p.ClockHz <= 0:
+		return errors.New("gpu: clock must be positive")
+	case p.WarpSize <= 0:
+		return errors.New("gpu: warp size must be positive")
+	case p.MaxThreadsPerBlock <= 0 || p.MaxThreadsPerBlock%p.WarpSize != 0:
+		return fmt.Errorf("gpu: max threads per block (%d) must be a positive multiple of the warp size (%d)",
+			p.MaxThreadsPerBlock, p.WarpSize)
+	case p.GlobalMemBytes <= 0:
+		return errors.New("gpu: global memory must be positive")
+	case p.SharedMemPerBlock < 0 || p.ConstMemBytes < 0 || p.ConstCacheBytes < 0:
+		return errors.New("gpu: memory capacities must be non-negative")
+	case p.ConstCacheBytes > p.ConstMemBytes:
+		return errors.New("gpu: constant cache cannot exceed constant memory")
+	case p.MemBandwidth <= 0 || p.PCIeBandwidth <= 0:
+		return errors.New("gpu: bandwidths must be positive")
+	case p.TransactionBytes < 4:
+		return errors.New("gpu: transaction size must be at least one float32")
+	case p.CyclesPerOp <= 0:
+		return errors.New("gpu: CyclesPerOp must be positive")
+	}
+	return nil
+}
+
+// Cores returns the total number of scalar cores (SMCount × CoresPerSM) —
+// 240 on the paper's device.
+func (p Properties) Cores() int { return p.SMCount * p.CoresPerSM }
+
+// Throughput returns peak tallied-operation throughput in ops/second.
+func (p Properties) Throughput() float64 {
+	return float64(p.Cores()) * p.ClockHz / p.CyclesPerOp
+}

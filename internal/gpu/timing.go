@@ -1,0 +1,148 @@
+package gpu
+
+import "fmt"
+
+// Tally counts the work a kernel performed, per launch. Compute is
+// expressed in warp-cycles: within a warp the threads execute in lockstep,
+// so a warp's cost is the maximum of its threads' operation counts — this
+// is how branch divergence (e.g. QuickSort partitioning taking different
+// paths per thread) becomes visible in the model.
+type Tally struct {
+	Threads       int
+	Blocks        int
+	Warps         int
+	ThreadOps     int64 // sum of per-thread tallied operations
+	WarpMaxOps    int64 // sum over warps of the max per-thread ops
+	GlobalRead    int64 // bytes requested
+	GlobalWrite   int64 // bytes requested
+	GlobalReadEff int64 // bytes actually moved across the bus (transaction-expanded when uncoalesced)
+	GlobalWrEff   int64 // effective write bytes
+	ConstReads    int64 // element reads through the constant cache
+	SharedOps     int64 // shared-memory accesses
+	Barriers      int64 // __syncthreads crossings (thread-level)
+	MaxSharedUsed int   // bytes of shared memory actually touched per block
+}
+
+// Add accumulates other into t.
+func (t *Tally) Add(other Tally) {
+	t.Threads += other.Threads
+	t.Blocks += other.Blocks
+	t.Warps += other.Warps
+	t.ThreadOps += other.ThreadOps
+	t.WarpMaxOps += other.WarpMaxOps
+	t.GlobalRead += other.GlobalRead
+	t.GlobalWrite += other.GlobalWrite
+	t.GlobalReadEff += other.GlobalReadEff
+	t.GlobalWrEff += other.GlobalWrEff
+	t.ConstReads += other.ConstReads
+	t.SharedOps += other.SharedOps
+	t.Barriers += other.Barriers
+	if other.MaxSharedUsed > t.MaxSharedUsed {
+		t.MaxSharedUsed = other.MaxSharedUsed
+	}
+}
+
+// DivergenceRatio returns WarpMaxOps·WarpSize / ThreadOps-style imbalance:
+// 1.0 means perfectly uniform warps; larger values mean lockstep waste.
+// Returns 0 when no work was tallied.
+func (t Tally) DivergenceRatio(warpSize int) float64 {
+	if t.ThreadOps == 0 {
+		return 0
+	}
+	return float64(t.WarpMaxOps) * float64(warpSize) / float64(t.ThreadOps)
+}
+
+// KernelTime converts a tally into modelled seconds on a device with the
+// given properties. The model is the standard roofline-style bound:
+//
+//	compute = Σ_warps maxOps × (WarpSize/CoresPerSM) cycles, spread
+//	          across SMs at the core clock
+//	memory  = (effective global bytes moved) / bandwidth
+//	time    = max(compute, memory) + launch overhead
+//
+// The effective byte counts expand every uncoalesced access to a full
+// memory transaction (TransactionBytes), which is what makes the paper's
+// main kernel — per-thread row walks and in-place QuickSorts of global
+// memory — memory-bound, and what makes its index-switch (coalescing)
+// optimisation visible in modelled time. Shared-memory and constant-cache
+// traffic ride the compute pipe at one op per access.
+func KernelTime(p Properties, t Tally) float64 {
+	issueCycles := float64(t.WarpMaxOps) * float64(p.WarpSize) / float64(p.CoresPerSM) * p.CyclesPerOp
+	// Wave quantisation: a block is resident on one SM, so a launch with
+	// fewer blocks than SMs cannot use the whole device.
+	activeSMs := p.SMCount
+	if t.Blocks > 0 && t.Blocks < activeSMs {
+		activeSMs = t.Blocks
+	}
+	computeSec := issueCycles / (float64(activeSMs) * p.ClockHz)
+	memSec := float64(t.GlobalReadEff+t.GlobalWrEff) / p.MemBandwidth
+	sec := computeSec
+	if memSec > sec {
+		sec = memSec
+	}
+	return sec + p.LaunchOverhead
+}
+
+// ClockEvent is one entry in the modelled-time ledger.
+type ClockEvent struct {
+	Label   string
+	Seconds float64
+}
+
+// Clock accumulates modelled device time as a ledger of labelled events,
+// so tools can show where the modelled seconds went (init vs malloc vs
+// memcpy vs each kernel).
+type Clock struct {
+	total  float64
+	events []ClockEvent
+}
+
+// NewClock returns a zeroed clock.
+func NewClock() *Clock { return &Clock{} }
+
+// Advance adds sec seconds under the given label.
+func (c *Clock) Advance(sec float64, label string) {
+	if sec < 0 {
+		panic(fmt.Sprintf("gpu: negative clock advance %g (%s)", sec, label))
+	}
+	c.total += sec
+	c.events = append(c.events, ClockEvent{Label: label, Seconds: sec})
+}
+
+// Seconds returns total modelled time.
+func (c *Clock) Seconds() float64 { return c.total }
+
+// Events returns a copy of the ledger.
+func (c *Clock) Events() []ClockEvent {
+	return append([]ClockEvent(nil), c.events...)
+}
+
+// Reset zeroes the clock and its ledger.
+func (c *Clock) Reset() { c.total = 0; c.events = nil }
+
+// ByLabel aggregates the ledger by label prefix up to the first space,
+// summarising e.g. all "memcpy …" events as "memcpy".
+func (c *Clock) ByLabel() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range c.events {
+		key := e.Label
+		for i := 0; i < len(key); i++ {
+			if key[i] == ' ' {
+				key = key[:i]
+				break
+			}
+		}
+		out[key] += e.Seconds
+	}
+	return out
+}
+
+// ByFullLabel aggregates the ledger by complete label ("kernel sumReduce"
+// stays distinct from "kernel bandwidthMain"), for per-kernel attribution.
+func (c *Clock) ByFullLabel() map[string]float64 {
+	out := make(map[string]float64)
+	for _, e := range c.events {
+		out[e.Label] += e.Seconds
+	}
+	return out
+}

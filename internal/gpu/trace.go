@@ -1,0 +1,73 @@
+package gpu
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Chrome-trace export of the modelled-time ledger: every clock event
+// becomes a complete ("ph":"X") slice on a timeline, with one track per
+// activity class, so a pipeline run can be inspected in any
+// chrome://tracing-compatible viewer (Perfetto, speedscope).
+
+// traceEvent is one slice in the Trace Event Format.
+type traceEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`  // microseconds
+	Dur   float64 `json:"dur"` // microseconds
+	PID   int     `json:"pid"`
+	TID   int     `json:"tid"`
+}
+
+// classTID maps an activity-class prefix to a stable track id.
+func classTID(label string) int {
+	prefix := label
+	for i := 0; i < len(label); i++ {
+		if label[i] == ' ' {
+			prefix = label[:i]
+			break
+		}
+	}
+	switch prefix {
+	case "kernel":
+		return 1
+	case "memcpy", "const":
+		return 2
+	case "cudaMalloc", "cudaFree":
+		return 3
+	default:
+		return 0 // device init and anything else
+	}
+}
+
+// ExportChromeTrace writes a ledger as a Chrome Trace Event JSON array.
+// The device executes serially in the model, so events are laid out back
+// to back in ledger order; the per-class tracks make the time split
+// visually obvious.
+func ExportChromeTrace(w io.Writer, ledger []ClockEvent) error {
+	events := make([]traceEvent, 0, len(ledger))
+	cursor := 0.0
+	for _, e := range ledger {
+		events = append(events, traceEvent{
+			Name:  e.Label,
+			Phase: "X",
+			TS:    cursor * 1e6,
+			Dur:   e.Seconds * 1e6,
+			PID:   0,
+			TID:   classTID(e.Label),
+		})
+		cursor += e.Seconds
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(events); err != nil {
+		return fmt.Errorf("gpu: exporting trace: %w", err)
+	}
+	return nil
+}
+
+// ExportChromeTrace writes this clock's ledger (see the free function).
+func (c *Clock) ExportChromeTrace(w io.Writer) error {
+	return ExportChromeTrace(w, c.events)
+}

@@ -1,0 +1,54 @@
+package gpu
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestExportChromeTrace(t *testing.T) {
+	c := NewClock()
+	c.Advance(0.072, "device init")
+	c.Advance(0.001, "cudaMalloc x")
+	c.Advance(0.010, "kernel main")
+	c.Advance(0.0005, "memcpy D2H out")
+	var buf bytes.Buffer
+	if err := c.ExportChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events", len(events))
+	}
+	// Events are back to back: each ts = previous ts + dur.
+	cursor := 0.0
+	for i, e := range events {
+		if e["ph"] != "X" {
+			t.Errorf("event %d phase %v", i, e["ph"])
+		}
+		ts := e["ts"].(float64)
+		if diff := ts - cursor; diff > 1e-6 || diff < -1e-6 {
+			t.Errorf("event %d ts = %v, want %v", i, ts, cursor)
+		}
+		cursor += e["dur"].(float64)
+	}
+	// Track assignment by class.
+	if events[0]["tid"].(float64) != 0 || events[1]["tid"].(float64) != 3 ||
+		events[2]["tid"].(float64) != 1 || events[3]["tid"].(float64) != 2 {
+		t.Errorf("track ids wrong: %v", events)
+	}
+}
+
+func TestExportChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ExportChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var events []any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 0 {
+		t.Errorf("empty ledger should give an empty array: %v %v", events, err)
+	}
+}

@@ -1,0 +1,10 @@
+package harness
+
+import "time"
+
+// timeOnce measures one invocation of fn in seconds.
+func timeOnce(fn func() error) (float64, error) {
+	start := time.Now()
+	err := fn()
+	return time.Since(start).Seconds(), err
+}

@@ -1,0 +1,153 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one curve of Figure 1: run time against sample size for one
+// program.
+type Series struct {
+	Name  string
+	N     []int
+	Sec   []float64
+	Notes []string // per-point annotation ("modelled", "extrapolated", "")
+}
+
+// Figure1 regenerates the paper's Figure 1 as a set of series (one per
+// program) over the configured sample sizes.
+func Figure1(programs []Program, cfg Config) ([]Series, error) {
+	cfg = cfg.withDefaults()
+	out := make([]Series, 0, len(programs))
+	for _, p := range programs {
+		col, err := Column(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: p.String()}
+		for _, c := range col {
+			if c.Failed {
+				continue
+			}
+			s.N = append(s.N, c.N)
+			s.Sec = append(s.Sec, c.Seconds)
+			switch {
+			case c.Modelled:
+				s.Notes = append(s.Notes, "modelled")
+			case c.Extrapolated:
+				s.Notes = append(s.Notes, "extrapolated")
+			default:
+				s.Notes = append(s.Notes, "")
+			}
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// PaperFigure1 returns the paper's published Figure 1 series (same data
+// as Table I).
+func PaperFigure1() []Series {
+	names := []string{"Racine & Hayfield", "Multicore R", "Sequential C", "CUDA on GPU"}
+	out := make([]Series, len(names))
+	for i, name := range names {
+		s := Series{Name: name}
+		for j, n := range PaperSampleSizes {
+			v := PaperTable1[name][j]
+			if v <= 0 {
+				v = 0.005 // Table I prints 0.00 for the fastest cells
+			}
+			s.N = append(s.N, n)
+			s.Sec = append(s.Sec, v)
+			s.Notes = append(s.Notes, "paper")
+		}
+		out[i] = s
+	}
+	return out
+}
+
+// WriteSeriesTSV writes the series as tab-separated values (program, n,
+// seconds, note), the machine-readable form of Figure 1.
+func WriteSeriesTSV(w io.Writer, series []Series) error {
+	if _, err := fmt.Fprintln(w, "program\tn\tseconds\tnote"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		for i := range s.N {
+			if _, err := fmt.Fprintf(w, "%s\t%d\t%.4f\t%s\n", s.Name, s.N[i], s.Sec[i], s.Notes[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// PlotASCII renders Figure 1 as an ASCII chart: log-scaled n on the
+// horizontal axis (as in the paper) and log-scaled seconds on the
+// vertical, one digit/letter marker per series.
+func PlotASCII(w io.Writer, series []Series, width, height int) error {
+	if width < 20 {
+		width = 72
+	}
+	if height < 8 {
+		height = 24
+	}
+	minN, maxN := math.Inf(1), math.Inf(-1)
+	minS, maxS := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.N {
+			n := float64(s.N[i])
+			sec := s.Sec[i]
+			if sec <= 0 {
+				sec = 1e-3
+			}
+			minN = math.Min(minN, n)
+			maxN = math.Max(maxN, n)
+			minS = math.Min(minS, sec)
+			maxS = math.Max(maxS, sec)
+		}
+	}
+	if !(minN < maxN) || !(minS < maxS) {
+		return fmt.Errorf("harness: not enough spread to plot")
+	}
+	lx := func(n float64) int {
+		return int(math.Round((math.Log(n) - math.Log(minN)) / (math.Log(maxN) - math.Log(minN)) * float64(width-1)))
+	}
+	ly := func(s float64) int {
+		if s <= 0 {
+			s = 1e-3
+		}
+		return height - 1 - int(math.Round((math.Log(s)-math.Log(minS))/(math.Log(maxS)-math.Log(minS))*float64(height-1)))
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	markers := []byte{'1', '2', '3', '4', '5', '6', '7', '8', '9'}
+	for si, s := range series {
+		m := markers[si%len(markers)]
+		for i := range s.N {
+			x := lx(float64(s.N[i]))
+			y := ly(s.Sec[i])
+			grid[y][x] = m
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 1 — run time (s, log scale) vs sample size (log scale)\n")
+	for _, row := range grid {
+		b.WriteString("| ")
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("+-")
+	b.WriteString(strings.Repeat("-", width))
+	b.WriteByte('\n')
+	fmt.Fprintf(&b, "  n: %.0f .. %.0f   seconds: %.3g .. %.3g\n", minN, maxN, minS, maxS)
+	for si, s := range series {
+		fmt.Fprintf(&b, "  [%c] %s\n", markers[si%len(markers)], s.Name)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,78 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// FutureTable regenerates the scaling table for the paper's future-work
+// designs, built in this repository: the original pipeline (OOM-bound at
+// the paper's wall), the tiled pipeline without n×n matrices, and the
+// dual-GPU split across the two Tesla S10 units the paper's machine
+// carried. All cells are simulator-modelled device seconds.
+func FutureTable(cfg Config, ns []int) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = []int{10000, 20000, 25000, 50000, 100000, 200000}
+	}
+	cols := []string{"original", "tiled", "dual-GPU", "dual+tiled"}
+	t := &Table{
+		Title:    fmt.Sprintf("Future-work pipelines — modelled device seconds (k = %d)", cfg.K),
+		RowLabel: "n",
+		Rows:     make([]string, len(ns)),
+		Cols:     cols,
+		Cells:    make([][]Cell, len(ns)),
+	}
+	for i, n := range ns {
+		t.Rows[i] = fmt.Sprintf("%d", n)
+		t.Cells[i] = make([]Cell, len(cols))
+
+		if p, err := core.PlanGPU(n, cfg.K, cfg.Props); err != nil {
+			t.Cells[i][0] = Cell{N: n, Failed: true, Note: "OOM"}
+		} else {
+			t.Cells[i][0] = Cell{N: n, Seconds: p.Seconds, Modelled: true}
+		}
+
+		if p, _, err := core.PlanGPUTiled(n, cfg.K, 0, cfg.Props); err != nil {
+			t.Cells[i][1] = Cell{N: n, Failed: true, Note: err.Error()}
+		} else {
+			t.Cells[i][1] = Cell{N: n, Seconds: p.Seconds, Modelled: true}
+		}
+
+		if p, _, err := core.PlanGPUMulti(n, cfg.K, 2, cfg.Props); err != nil {
+			t.Cells[i][2] = Cell{N: n, Failed: true, Note: "OOM"}
+		} else {
+			t.Cells[i][2] = Cell{N: n, Seconds: p.Seconds, Modelled: true}
+		}
+
+		// Dual + tiled: each device runs a tiled pipeline over half the
+		// observations; wall time is the slower half. Model it as the
+		// tiled plan of the larger share with full-n rows.
+		if sec, err := dualTiledSeconds(n, cfg); err != nil {
+			t.Cells[i][3] = Cell{N: n, Failed: true, Note: err.Error()}
+		} else {
+			t.Cells[i][3] = Cell{N: n, Seconds: sec, Modelled: true}
+		}
+	}
+	return t, nil
+}
+
+// dualTiledSeconds models two devices each running a tiled pipeline over
+// half the observations (rows are still length n). The per-device cost is
+// approximated by a tiled plan whose chunked main-kernel launches cover
+// ⌈n/2⌉ observation-threads.
+func dualTiledSeconds(n int, cfg Config) (float64, error) {
+	half := (n + 1) / 2
+	// A tiled plan at size n costs ~2x the per-device work; halve the
+	// kernel portion, keep the fixed overheads. Compute both plans to
+	// get the breakdown.
+	full, _, err := core.PlanGPUTiled(n, cfg.K, 0, cfg.Props)
+	if err != nil {
+		return 0, err
+	}
+	kernelSec := full.TimeByLabel["kernel"]
+	fixed := full.Seconds - kernelSec
+	_ = half
+	return fixed + kernelSec/2, nil
+}

@@ -1,0 +1,356 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/data"
+)
+
+func quickConfig() Config {
+	return Config{
+		Seed: 42,
+		Runs: 1,
+		K:    10,
+		Ns:   []int{50, 100, 200},
+	}
+}
+
+func TestPaperReferenceDataShape(t *testing.T) {
+	// Internal consistency of the transcription: the headline speedup,
+	// monotone large-n growth, orderings the paper reports.
+	if math.Abs(PaperSpeedupAt20000-7.156) > 0.01 {
+		t.Errorf("headline speedup = %v", PaperSpeedupAt20000)
+	}
+	for name, col := range PaperTable1 {
+		if len(col) != len(PaperSampleSizes) {
+			t.Fatalf("%s: %d entries for %d sizes", name, len(col), len(PaperSampleSizes))
+		}
+		// Monotone non-decreasing from n = 500 upward.
+		for i := 3; i < len(col); i++ {
+			if col[i] < col[i-1] {
+				t.Errorf("%s not monotone at %d", name, PaperSampleSizes[i])
+			}
+		}
+	}
+	// At n = 20,000 the ordering is 1 > 2 > 3 > 4.
+	last := len(PaperSampleSizes) - 1
+	if !(PaperTable1["Racine & Hayfield"][last] > PaperTable1["Multicore R"][last] &&
+		PaperTable1["Multicore R"][last] > PaperTable1["Sequential C"][last] &&
+		PaperTable1["Sequential C"][last] > PaperTable1["CUDA on GPU"][last]) {
+		t.Error("paper large-n ordering broken in transcription")
+	}
+	// Table II grids match their axes.
+	for _, tab := range [][][]float64{PaperTable2A, PaperTable2B} {
+		if len(tab) != len(PaperBandwidthCounts) {
+			t.Fatal("Table II rows wrong")
+		}
+		for _, row := range tab {
+			if len(row) != len(PaperTable2Ns) {
+				t.Fatal("Table II cols wrong")
+			}
+		}
+	}
+	// Cells with k > n are absent (-1).
+	for i, k := range PaperBandwidthCounts {
+		for j, n := range PaperTable2Ns {
+			if k > n && PaperTable2A[i][j] >= 0 {
+				t.Errorf("Panel A has a k>n cell at (%d, %d)", k, n)
+			}
+		}
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	for _, p := range AllPrograms {
+		if p.String() == "" || strings.Contains(p.String(), "harness.Program") {
+			t.Errorf("program %d lacks a display name", p)
+		}
+	}
+	if Program(99).String() == "" {
+		t.Error("unknown program should stringify")
+	}
+}
+
+func TestMeasureCellHostPrograms(t *testing.T) {
+	cfg := quickConfig()
+	for _, p := range []Program{ProgNumerical, ProgNumericalMC, ProgSeqC, ProgSortedGo, ProgParallelGo} {
+		cell, res, err := MeasureCell(p, 100, 10, cfg)
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if cell.Failed {
+			t.Fatalf("%v failed: %s", p, cell.Note)
+		}
+		if cell.Seconds < 0 || cell.Runs != 1 {
+			t.Errorf("%v: cell %+v", p, cell)
+		}
+		if res.H <= 0 {
+			t.Errorf("%v: no bandwidth selected", p)
+		}
+	}
+}
+
+func TestMeasureCellGPUIsModelled(t *testing.T) {
+	cell, _, err := MeasureCell(ProgGPU, 1000, 50, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.Modelled {
+		t.Error("GPU cell should be marked modelled")
+	}
+	if cell.Seconds <= 0 {
+		t.Error("modelled seconds missing")
+	}
+}
+
+func TestMeasureCellGPUCliff(t *testing.T) {
+	cell, _, err := MeasureCell(ProgGPU, 25000, 50, quickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cell.Failed || !strings.Contains(cell.Note, "out of device memory") {
+		t.Errorf("n=25,000 should fail with OOM: %+v", cell)
+	}
+}
+
+func TestColumnExtrapolation(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Ns = []int{50, 100, 1000}
+	cfg.MaxMeasureN = map[Program]int{ProgSeqC: 100}
+	col, err := Column(ProgSeqC, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col[0].Extrapolated || col[1].Extrapolated {
+		t.Error("measured cells flagged as extrapolated")
+	}
+	if !col[2].Extrapolated {
+		t.Error("n=1000 should be extrapolated")
+	}
+	if col[2].Seconds <= col[1].Seconds {
+		t.Error("extrapolation should grow with n")
+	}
+	// Shape: n² log n scaling from 100 → 1000 is ≈ 150×.
+	ratio := col[2].Seconds / col[1].Seconds
+	if ratio < 50 || ratio > 400 {
+		t.Errorf("extrapolation ratio %v implausible", ratio)
+	}
+}
+
+func TestTable1SmallRun(t *testing.T) {
+	cfg := quickConfig()
+	tab, err := Table1([]Program{ProgSeqC, ProgGPU}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 3 || len(tab.Cols) != 2 {
+		t.Fatalf("table geometry: %dx%d", len(tab.Rows), len(tab.Cols))
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Sequential C (P3)", "CUDA model (P4)", "50", "200"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable2SmallRun(t *testing.T) {
+	cfg := quickConfig()
+	tab, err := Table2(ProgSeqC, []int{50, 100}, []int{5, 10, 50, 100}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// k=100 > n=50 must be skipped.
+	if tab.Cells[3][0].N != 0 {
+		t.Error("k>n cell should be empty")
+	}
+	if tab.Cells[0][0].Failed {
+		t.Error("k=5 n=50 should run")
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "bandwidths") {
+		t.Error("render missing row label")
+	}
+}
+
+func TestTable2PanelBFlatInK(t *testing.T) {
+	cfg := quickConfig()
+	tab, err := Table2(ProgGPU, []int{5000}, []int{5, 2000}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := tab.Cells[0][0].Seconds
+	big := tab.Cells[1][0].Seconds
+	if big > small*1.25 {
+		t.Errorf("Panel B should be flat in k: %v vs %v", small, big)
+	}
+}
+
+func TestPaperReferenceTables(t *testing.T) {
+	t1 := PaperTable1Reference()
+	var buf bytes.Buffer
+	if err := t1.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "232.51") {
+		t.Error("paper Table I reference missing the headline cell")
+	}
+	for _, panelB := range []bool{false, true} {
+		tab := PaperTable2Reference(panelB)
+		buf.Reset()
+		if err := tab.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(buf.String(), "n=20000") {
+			t.Error("paper Table II reference missing columns")
+		}
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	tab := PaperTable1Reference()
+	sp, err := Speedups(tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At n = 20,000 (last row), CUDA speedup ≈ 7.16.
+	last := len(sp.Rows) - 1
+	got := sp.Cells[last][3].Seconds
+	if math.Abs(got-PaperSpeedupAt20000) > 0.01 {
+		t.Errorf("CUDA speedup = %v, want %v", got, PaperSpeedupAt20000)
+	}
+	// Baseline column is 1 everywhere.
+	if sp.Cells[0][0].Seconds != 1 {
+		t.Error("baseline speedup should be 1")
+	}
+	if _, err := Speedups(tab, 99); err == nil {
+		t.Error("bad baseline column should fail")
+	}
+}
+
+func TestFigure1AndPlot(t *testing.T) {
+	cfg := quickConfig()
+	series, err := Figure1([]Program{ProgSeqC, ProgGPU}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series count %d", len(series))
+	}
+	for _, s := range series {
+		if len(s.N) == 0 {
+			t.Errorf("%s: empty series", s.Name)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesTSV(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "program\tn\tseconds") {
+		t.Error("TSV header missing")
+	}
+	buf.Reset()
+	if err := PlotASCII(&buf, series, 60, 16); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Figure 1") || !strings.Contains(out, "[1]") {
+		t.Errorf("plot incomplete:\n%s", out)
+	}
+}
+
+func TestPaperFigure1(t *testing.T) {
+	series := PaperFigure1()
+	if len(series) != 4 {
+		t.Fatalf("paper figure should have 4 curves, got %d", len(series))
+	}
+	var buf bytes.Buffer
+	if err := PlotASCII(&buf, series, 72, 20); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlotASCIIDegenerate(t *testing.T) {
+	flat := []Series{{Name: "x", N: []int{10}, Sec: []float64{1}, Notes: []string{""}}}
+	var buf bytes.Buffer
+	if err := PlotASCII(&buf, flat, 40, 10); err == nil {
+		t.Error("single-point plot should report insufficient spread")
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Runs != 3 || c.K != 50 || len(c.Ns) != len(PaperSampleSizes) || c.Props.SMCount == 0 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+}
+
+func TestComplexityFactor(t *testing.T) {
+	// Sorted programs grow faster than n² by a log factor.
+	r1 := complexityFactor(ProgSeqC, 20000, 50) / complexityFactor(ProgSeqC, 10000, 50)
+	r2 := complexityFactor(ProgNumerical, 20000, 50) / complexityFactor(ProgNumerical, 10000, 50)
+	if !(r1 > r2 && r2 == 4) {
+		t.Errorf("complexity ratios: sorted %v, naive %v", r1, r2)
+	}
+}
+
+func TestColumnNoAnchorError(t *testing.T) {
+	cfg := quickConfig()
+	cfg.Ns = []int{5000}
+	cfg.MaxMeasureN = map[Program]int{ProgSeqC: 100}
+	if _, err := Column(ProgSeqC, cfg); err == nil {
+		t.Error("extrapolation without any measured cell should fail")
+	}
+}
+
+func TestMeasureCellClampsK(t *testing.T) {
+	// k is clamped to n by Column, but MeasureCell itself takes k as
+	// given; verify a k <= n call works at the boundary.
+	cell, res, err := MeasureCell(ProgSeqC, 50, 50, quickConfig())
+	if err != nil || cell.Failed {
+		t.Fatalf("boundary k=n cell failed: %v %+v", err, cell)
+	}
+	if res.H <= 0 {
+		t.Error("no selection")
+	}
+}
+
+func TestRunProgramUnknown(t *testing.T) {
+	d := data.GeneratePaper(10, 1)
+	g, _ := bandwidth.DefaultGrid(d.X, 5)
+	if _, err := runProgram(Program(99), d, g, quickConfig()); err == nil {
+		t.Error("unknown program should fail")
+	}
+	if _, err := runProgram(ProgGPU, d, g, quickConfig()); err == nil {
+		t.Error("ProgGPU cannot be run as a host program")
+	}
+}
+
+func TestSpeedupsWithFailures(t *testing.T) {
+	tab := &Table{
+		Rows: []string{"a"},
+		Cols: []string{"base", "broken"},
+		Cells: [][]Cell{{
+			{N: 10, Seconds: 2},
+			{N: 10, Failed: true},
+		}},
+	}
+	sp, err := Speedups(tab, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sp.Cells[0][1].Failed {
+		t.Error("failed cells should stay failed in the speedup table")
+	}
+}

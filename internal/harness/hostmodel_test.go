@@ -1,0 +1,38 @@
+package harness
+
+import "testing"
+
+func TestSeqCModelCalibration(t *testing.T) {
+	// Calibrated on the single cell (20,000, 50) → 80.92 s; must then
+	// track every other published Sequential C cell within 35%.
+	anchor := ModelSeqCSeconds(20000, 50)
+	if anchor < 75 || anchor > 87 {
+		t.Fatalf("anchor cell modelled %.2fs, want ≈ 80.92", anchor)
+	}
+	for i, k := range PaperBandwidthCounts {
+		for j, n := range PaperTable2Ns {
+			want := PaperTable2A[i][j]
+			if want < 0.2 {
+				continue // sub-200ms cells are timer-resolution noise
+			}
+			got := ModelSeqCSeconds(n, k)
+			ratio := got / want
+			if ratio < 0.65 || ratio > 1.35 {
+				t.Errorf("n=%d k=%d: modelled %.2fs vs paper %.2fs (ratio %.2f)", n, k, got, want, ratio)
+			}
+		}
+	}
+}
+
+func TestSeqCModelShape(t *testing.T) {
+	// The k effect must be visible at small n and negligible at large n,
+	// as Panel A reports.
+	smallN := ModelSeqCSeconds(1000, 2000) / ModelSeqCSeconds(1000, 5)
+	largeN := ModelSeqCSeconds(20000, 2000) / ModelSeqCSeconds(20000, 5)
+	if !(smallN > largeN) {
+		t.Errorf("k-sensitivity should shrink with n: %.3f vs %.3f", smallN, largeN)
+	}
+	if largeN > 1.10 {
+		t.Errorf("large-n k effect %.3f should be small (paper: <5%%)", largeN)
+	}
+}

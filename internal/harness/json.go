@@ -1,0 +1,88 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// JSON export of tables and series, for downstream plotting tools.
+
+// jsonCell is the serialised form of one table entry.
+type jsonCell struct {
+	N            int     `json:"n,omitempty"`
+	K            int     `json:"k,omitempty"`
+	Seconds      float64 `json:"seconds"`
+	Runs         int     `json:"runs,omitempty"`
+	Modelled     bool    `json:"modelled,omitempty"`
+	Extrapolated bool    `json:"extrapolated,omitempty"`
+	Failed       bool    `json:"failed,omitempty"`
+	Absent       bool    `json:"absent,omitempty"`
+	Note         string  `json:"note,omitempty"`
+}
+
+type jsonTable struct {
+	Title    string       `json:"title"`
+	RowLabel string       `json:"rowLabel"`
+	Rows     []string     `json:"rows"`
+	Cols     []string     `json:"cols"`
+	Cells    [][]jsonCell `json:"cells"`
+}
+
+// WriteJSON serialises the table as indented JSON.
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := jsonTable{
+		Title:    t.Title,
+		RowLabel: t.RowLabel,
+		Rows:     t.Rows,
+		Cols:     t.Cols,
+		Cells:    make([][]jsonCell, len(t.Cells)),
+	}
+	for i, row := range t.Cells {
+		out.Cells[i] = make([]jsonCell, len(row))
+		for j, c := range row {
+			jc := jsonCell{
+				N: c.N, K: c.K, Seconds: c.Seconds, Runs: c.Runs,
+				Modelled: c.Modelled, Extrapolated: c.Extrapolated,
+				Failed: c.Failed, Note: c.Note,
+			}
+			if c.N == 0 && c.Seconds == 0 && !c.Failed {
+				jc.Absent = true
+			}
+			out.Cells[i][j] = jc
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("harness: encoding table: %w", err)
+	}
+	return nil
+}
+
+// WriteSeriesJSON serialises Figure-1-style series as indented JSON.
+func WriteSeriesJSON(w io.Writer, series []Series) error {
+	type point struct {
+		N       int     `json:"n"`
+		Seconds float64 `json:"seconds"`
+		Note    string  `json:"note,omitempty"`
+	}
+	type jsonSeries struct {
+		Name   string  `json:"name"`
+		Points []point `json:"points"`
+	}
+	out := make([]jsonSeries, len(series))
+	for i, s := range series {
+		js := jsonSeries{Name: s.Name, Points: make([]point, len(s.N))}
+		for p := range s.N {
+			js.Points[p] = point{N: s.N[p], Seconds: s.Sec[p], Note: s.Notes[p]}
+		}
+		out[i] = js
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("harness: encoding series: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableWriteJSON(t *testing.T) {
+	tab := PaperTable1Reference()
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if decoded["title"] == "" || len(decoded["rows"].([]any)) != len(PaperSampleSizes) {
+		t.Errorf("decoded table incomplete: %v", decoded["title"])
+	}
+	if !strings.Contains(buf.String(), "232.51") {
+		t.Error("headline cell missing from JSON")
+	}
+	// Absent cells in Table II are marked.
+	t2 := PaperTable2Reference(false)
+	buf.Reset()
+	if err := t2.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"absent": true`) {
+		t.Error("absent cells should be marked")
+	}
+}
+
+func TestWriteSeriesJSON(t *testing.T) {
+	series := PaperFigure1()
+	var buf bytes.Buffer
+	if err := WriteSeriesJSON(&buf, series); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if len(decoded) != 4 {
+		t.Errorf("expected 4 series, got %d", len(decoded))
+	}
+}

@@ -1,0 +1,70 @@
+// Package harness regenerates every table and figure of the paper's
+// evaluation section: Figure 1 / Table I (run times by program and sample
+// size) and Table II (run times by number of bandwidths, sequential and
+// CUDA panels), plus the capacity-cliff demonstrations. It embeds the
+// paper's published numbers as the reference series, measures this
+// repository's implementations under the paper's protocol (repeated runs,
+// median), and reports the simulator's modelled device times for the GPU
+// program.
+package harness
+
+// The paper's published measurements, transcribed from Table I and
+// Table II. These are the reference series EXPERIMENTS.md compares
+// against; they are never used to fabricate "measured" output.
+
+// PaperSampleSizes are the sample sizes of Table I, as printed. (The
+// paper's §IV.C says n = 100…20,000 were "considered"; the printed table
+// also includes 50 and a row labelled 2,000 whose values equal Table II's
+// n = 5,000 column — a typo in the original, noted in EXPERIMENTS.md. We
+// reproduce the printed labels verbatim.)
+var PaperSampleSizes = []int{50, 100, 500, 1000, 2000, 10000, 20000}
+
+// PaperTable1 maps program name → run-time column of Table I (seconds),
+// aligned with PaperSampleSizes. The C columns use k = 50 bandwidths.
+var PaperTable1 = map[string][]float64{
+	"Racine & Hayfield": {0.04, 0.05, 0.38, 1.12, 16.71, 68.69, 232.51},
+	"Multicore R":       {1.16, 1.43, 1.46, 1.49, 13.59, 32.08, 124.70},
+	"Sequential C":      {0.00, 0.01, 0.07, 0.27, 4.89, 19.24, 80.92},
+	"CUDA on GPU":       {0.09, 0.09, 0.15, 0.24, 1.83, 7.10, 32.49},
+}
+
+// PaperTable2Ns are the sample-size columns of Table II.
+var PaperTable2Ns = []int{50, 100, 500, 1000, 5000, 10000, 20000}
+
+// PaperBandwidthCounts are the bandwidth-count rows of Table II.
+var PaperBandwidthCounts = []int{5, 10, 50, 100, 500, 1000, 2000}
+
+// PaperTable2A is Table II Panel A (Sequential C), seconds; NaN-free:
+// entries where k > n were not run in the paper and are -1 here.
+var PaperTable2A = [][]float64{
+	{0.00, 0.00, 0.06, 0.24, 4.83, 19.09, 80.24},
+	{0.02, 0.01, 0.06, 0.27, 4.93, 19.43, 80.43},
+	{0.04, 0.01, 0.07, 0.27, 4.89, 19.24, 80.92},
+	{-1, 0.01, 0.07, 0.28, 4.86, 19.26, 80.77},
+	{-1, -1, 0.10, 0.34, 5.04, 19.81, 81.80},
+	{-1, -1, -1, 0.41, 5.32, 20.06, 82.48},
+	{-1, -1, -1, -1, 5.66, 21.05, 84.11},
+}
+
+// PaperTable2B is Table II Panel B (CUDA program), seconds.
+var PaperTable2B = [][]float64{
+	{0.09, 0.09, 0.15, 0.24, 1.80, 6.94, 31.83},
+	{0.09, 0.09, 0.15, 0.24, 1.82, 7.00, 32.08},
+	{0.09, 0.09, 0.15, 0.24, 1.83, 7.10, 32.49},
+	{-1, 0.09, 0.15, 0.25, 1.84, 7.11, 32.56},
+	{-1, -1, 0.16, 0.26, 1.86, 7.13, 32.55},
+	{-1, -1, -1, 0.26, 1.92, 7.32, 33.13},
+	{-1, -1, -1, -1, 2.05, 7.68, 34.21},
+}
+
+// PaperSpeedupAt20000 is the headline claim: the CUDA program at
+// n = 20,000 runs in "slightly less than one seventh of the time of the
+// benchmark program" (232.51 / 32.49 ≈ 7.16).
+const PaperSpeedupAt20000 = 232.51 / 32.49
+
+// PaperMaxN is the largest sample size the paper's CUDA program could
+// allocate memory for on its 4 GB device.
+const PaperMaxN = 20000
+
+// PaperMaxBandwidths is the constant-cache cap on the bandwidth grid.
+const PaperMaxBandwidths = 2048

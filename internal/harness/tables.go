@@ -1,0 +1,276 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a rendered experiment table: row and column labels with
+// annotated numeric cells.
+type Table struct {
+	Title    string
+	RowLabel string
+	Rows     []string
+	Cols     []string
+	Cells    [][]Cell
+}
+
+// Render writes the table as aligned ASCII. Annotations: '*' modelled
+// (simulator timing model), '^' extrapolated along the complexity curve,
+// 'x' failed (e.g. device out of memory), '-' not applicable.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Cols)+1)
+	widths[0] = len(t.RowLabel)
+	for _, r := range t.Rows {
+		if len(r) > widths[0] {
+			widths[0] = len(r)
+		}
+	}
+	body := make([][]string, len(t.Rows))
+	for i := range t.Rows {
+		body[i] = make([]string, len(t.Cols))
+		for j := range t.Cols {
+			body[i][j] = formatCell(t.Cells[i][j])
+		}
+	}
+	for j, c := range t.Cols {
+		widths[j+1] = len(c)
+		for i := range t.Rows {
+			if len(body[i][j]) > widths[j+1] {
+				widths[j+1] = len(body[i][j])
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	fmt.Fprintf(&b, "%-*s", widths[0], t.RowLabel)
+	for j, c := range t.Cols {
+		fmt.Fprintf(&b, "  %*s", widths[j+1], c)
+	}
+	b.WriteByte('\n')
+	total := widths[0]
+	for _, wd := range widths[1:] {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for i, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", widths[0], r)
+		for j := range t.Cols {
+			fmt.Fprintf(&b, "  %*s", widths[j+1], body[i][j])
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("(*: simulator-modelled, ^: extrapolated, x: failed, -: not run)\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func formatCell(c Cell) string {
+	switch {
+	case c.Failed:
+		return "x"
+	case c.N == 0 && c.Seconds == 0:
+		return "-"
+	}
+	s := fmt.Sprintf("%.2f", c.Seconds)
+	if c.Seconds < 0.1 {
+		s = fmt.Sprintf("%.3f", c.Seconds)
+	}
+	if c.Modelled {
+		s += "*"
+	}
+	if c.Extrapolated {
+		s += "^"
+	}
+	return s
+}
+
+// Table1 regenerates the paper's Table I: run times by program and sample
+// size at k bandwidths, for the given set of programs.
+func Table1(programs []Program, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		Title:    fmt.Sprintf("Table I — run times (s) by program and sample size (k = %d, median of %d)", cfg.K, cfg.Runs),
+		RowLabel: "n",
+		Cols:     make([]string, len(programs)),
+		Rows:     make([]string, len(cfg.Ns)),
+		Cells:    make([][]Cell, len(cfg.Ns)),
+	}
+	for i, n := range cfg.Ns {
+		t.Rows[i] = fmt.Sprintf("%d", n)
+		t.Cells[i] = make([]Cell, len(programs))
+	}
+	for j, p := range programs {
+		t.Cols[j] = p.String()
+		col, err := Column(p, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for i := range cfg.Ns {
+			t.Cells[i][j] = col[i]
+		}
+	}
+	return t, nil
+}
+
+// Table2 regenerates the paper's Table II: run times by number of
+// bandwidths (rows) and sample size (columns), for one program — Panel A
+// is ProgSeqC, Panel B is ProgGPU. Combinations with k > n are skipped,
+// as in the paper.
+func Table2(p Program, ns, ks []int, cfg Config) (*Table, error) {
+	cfg = cfg.withDefaults()
+	if len(ns) == 0 {
+		ns = append([]int(nil), PaperTable2Ns...)
+	}
+	if len(ks) == 0 {
+		ks = append([]int(nil), PaperBandwidthCounts...)
+	}
+	panel := "A: " + p.String()
+	if p == ProgGPU {
+		panel = "B: " + p.String()
+	}
+	t := &Table{
+		Title:    fmt.Sprintf("Table II Panel %s — run times (s) by number of bandwidths", panel),
+		RowLabel: "bandwidths",
+		Rows:     make([]string, len(ks)),
+		Cols:     make([]string, len(ns)),
+		Cells:    make([][]Cell, len(ks)),
+	}
+	for j, n := range ns {
+		t.Cols[j] = fmt.Sprintf("n=%d", n)
+	}
+	maxN := 0
+	if cfg.MaxMeasureN != nil {
+		maxN = cfg.MaxMeasureN[p]
+	}
+	// The extrapolation anchor is the largest measured cell from any row:
+	// complexityFactor is a function of both n and k, so cross-row
+	// projection stays on the program's cost surface.
+	var lastMeasured *Cell
+	for i, k := range ks {
+		t.Rows[i] = fmt.Sprintf("%d", k)
+		t.Cells[i] = make([]Cell, len(ns))
+		for j, n := range ns {
+			if k > n {
+				t.Cells[i][j] = Cell{} // not run, as in the paper
+				continue
+			}
+			if maxN > 0 && n > maxN && p != ProgGPU {
+				if lastMeasured != nil {
+					scale := complexityFactor(p, n, k) / complexityFactor(p, lastMeasured.N, lastMeasured.K)
+					t.Cells[i][j] = Cell{
+						N: n, K: k,
+						Seconds:      lastMeasured.Seconds * scale,
+						Extrapolated: true,
+					}
+				} else {
+					t.Cells[i][j] = Cell{N: n, K: k, Failed: true, Note: "no anchor"}
+				}
+				continue
+			}
+			cell, _, err := MeasureCell(p, n, k, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if !cell.Failed && !cell.Modelled {
+				c := cell
+				lastMeasured = &c
+			}
+			t.Cells[i][j] = cell
+		}
+	}
+	return t, nil
+}
+
+// PaperTable1Reference renders the paper's published Table I for
+// side-by-side comparison.
+func PaperTable1Reference() *Table {
+	names := []string{"Racine & Hayfield", "Multicore R", "Sequential C", "CUDA on GPU"}
+	t := &Table{
+		Title:    "Table I (paper's published numbers, seconds)",
+		RowLabel: "n",
+		Rows:     make([]string, len(PaperSampleSizes)),
+		Cols:     names,
+		Cells:    make([][]Cell, len(PaperSampleSizes)),
+	}
+	for i, n := range PaperSampleSizes {
+		t.Rows[i] = fmt.Sprintf("%d", n)
+		t.Cells[i] = make([]Cell, len(names))
+		for j, name := range names {
+			t.Cells[i][j] = Cell{N: n, Seconds: PaperTable1[name][i], Runs: 5}
+		}
+	}
+	return t
+}
+
+// PaperTable2Reference renders the paper's published Table II panel
+// (panelB selects the CUDA panel).
+func PaperTable2Reference(panelB bool) *Table {
+	src := PaperTable2A
+	title := "Table II Panel A (paper, Sequential C, seconds)"
+	if panelB {
+		src = PaperTable2B
+		title = "Table II Panel B (paper, CUDA, seconds)"
+	}
+	t := &Table{
+		Title:    title,
+		RowLabel: "bandwidths",
+		Rows:     make([]string, len(PaperBandwidthCounts)),
+		Cols:     make([]string, len(PaperTable2Ns)),
+		Cells:    make([][]Cell, len(PaperBandwidthCounts)),
+	}
+	for j, n := range PaperTable2Ns {
+		t.Cols[j] = fmt.Sprintf("n=%d", n)
+	}
+	for i, k := range PaperBandwidthCounts {
+		t.Rows[i] = fmt.Sprintf("%d", k)
+		t.Cells[i] = make([]Cell, len(PaperTable2Ns))
+		for j := range PaperTable2Ns {
+			v := src[i][j]
+			if v < 0 {
+				t.Cells[i][j] = Cell{}
+			} else {
+				t.Cells[i][j] = Cell{N: PaperTable2Ns[j], K: k, Seconds: v, Runs: 5}
+			}
+		}
+	}
+	return t
+}
+
+// Speedups returns, for each row of a Table1-style table, the ratio of
+// the baseline column's seconds to each other column's — the paper's
+// headline metric (≈7× for CUDA vs np at n = 20,000).
+func Speedups(t *Table, baselineCol int) (*Table, error) {
+	if baselineCol < 0 || baselineCol >= len(t.Cols) {
+		return nil, fmt.Errorf("harness: baseline column %d out of range", baselineCol)
+	}
+	out := &Table{
+		Title:    fmt.Sprintf("Speedup vs %s", t.Cols[baselineCol]),
+		RowLabel: t.RowLabel,
+		Rows:     append([]string(nil), t.Rows...),
+		Cols:     append([]string(nil), t.Cols...),
+		Cells:    make([][]Cell, len(t.Rows)),
+	}
+	for i := range t.Rows {
+		out.Cells[i] = make([]Cell, len(t.Cols))
+		base := t.Cells[i][baselineCol]
+		for j := range t.Cols {
+			c := t.Cells[i][j]
+			if c.Failed || base.Failed || c.Seconds == 0 {
+				out.Cells[i][j] = Cell{Failed: c.Failed}
+				continue
+			}
+			out.Cells[i][j] = Cell{
+				N: c.N, K: c.K,
+				Seconds:      base.Seconds / c.Seconds,
+				Modelled:     c.Modelled || base.Modelled,
+				Extrapolated: c.Extrapolated || base.Extrapolated,
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+func TestVerdictsRun(t *testing.T) {
+	cfg := Config{Seed: 42, Runs: 1, K: 50}
+	checks, err := Verdicts(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(checks) != 11 {
+		t.Fatalf("expected 11 checks, got %d", len(checks))
+	}
+	failures, err := WriteVerdicts(os.Stderr, checks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("check %s failed: %s", c.Name, c.Detail)
+		}
+	}
+	_ = failures
+}
+
+func TestFutureTable(t *testing.T) {
+	cfg := Config{Seed: 1, Runs: 1, K: 50}
+	tab, err := FutureTable(cfg, []int{10000, 25000, 50000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Original OOMs at 25k+, tiled fits everywhere, dual fits 25k.
+	if tab.Cells[0][0].Failed || !tab.Cells[1][0].Failed || !tab.Cells[2][0].Failed {
+		t.Errorf("original pipeline wall wrong: %+v", tab.Cells)
+	}
+	for i := range tab.Rows {
+		if tab.Cells[i][1].Failed {
+			t.Errorf("tiled should fit row %d", i)
+		}
+	}
+	if tab.Cells[1][2].Failed {
+		t.Error("dual-GPU should fit n=25,000")
+	}
+	// Dual ≈ half of single where both run.
+	ratio := tab.Cells[0][2].Seconds / tab.Cells[0][0].Seconds
+	if ratio < 0.4 || ratio > 0.65 {
+		t.Errorf("dual/single = %v", ratio)
+	}
+}

@@ -1,0 +1,72 @@
+package kde
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// Additional KDE edge-case coverage.
+
+func TestDensityAtBoundary(t *testing.T) {
+	// Density estimates at the sample boundary suffer edge bias but must
+	// stay finite and non-negative.
+	x := normalSample(500, 21)
+	d, err := New(x, 0.4, kernel.Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := x[0], x[0]
+	for _, v := range x {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	for _, x0 := range []float64{min, max, min - 0.39, max + 0.39} {
+		f := d.At(x0)
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			t.Errorf("boundary density at %v = %v", x0, f)
+		}
+	}
+	// Outside the support entirely.
+	if d.At(min-10) != 0 {
+		t.Error("density far outside the support should be exactly 0")
+	}
+}
+
+func TestSilvermanIQRGuard(t *testing.T) {
+	// Heavy-tailed sample: the IQR/1.349 spread estimate should be the
+	// binding one, making Silverman smaller than Scott by more than the
+	// 0.9/1.06 constant ratio.
+	x := normalSample(2000, 22)
+	for i := 0; i < 20; i++ {
+		x[i] *= 50 // outliers blow up the standard deviation
+	}
+	hs := Silverman(x, kernel.Gaussian)
+	hc := Scott(x, kernel.Gaussian)
+	if !(hs < hc*0.9/1.06*1.001) {
+		t.Errorf("IQR guard should bind with outliers: silverman %v, scott %v", hs, hc)
+	}
+}
+
+func TestLSCVScoreMatchesGridEntry(t *testing.T) {
+	x := normalSample(120, 23)
+	grid := []float64{0.15, 0.3, 0.6}
+	res, err := SortedLSCVGrid(x, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, h := range grid {
+		want, err := LSCVScore(x, h, kernel.Epanechnikov)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Scores[j]-want) > 1e-9*math.Max(1, math.Abs(want)) {
+			t.Errorf("h=%v: %v vs %v", h, res.Scores[j], want)
+		}
+	}
+}

@@ -1,0 +1,278 @@
+// Package kde implements kernel density estimation and least-squares
+// cross-validation bandwidth selection for it — the extension the paper's
+// §II commits to ("the methods developed here for least-squares
+// cross-validation can be applied to many similar problems ... including
+// optimal bandwidth selection for kernel density estimation"). The sorted
+// incremental grid search carries over: for the Epanechnikov kernel, both
+// the kernel and its convolution are polynomials in |d|/h on compact
+// supports, so prefix sums of powers of the sorted distances evaluate a
+// whole ascending bandwidth grid in one sweep per observation.
+//
+// Rule-of-thumb selectors (Silverman, Scott) are included as the ad hoc
+// alternatives the paper's introduction says practitioners fall back on.
+package kde
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/kernel"
+	"repro/internal/sortx"
+	"repro/internal/stats"
+)
+
+// ErrSample is returned for samples with fewer than two observations.
+var ErrSample = errors.New("kde: need at least 2 observations")
+
+// Density is a fitted kernel density estimate.
+type Density struct {
+	X         []float64
+	Bandwidth float64
+	Kernel    kernel.Kind
+}
+
+// New validates the sample and bandwidth and returns a Density.
+func New(x []float64, h float64, k kernel.Kind) (*Density, error) {
+	if len(x) < 2 {
+		return nil, ErrSample
+	}
+	if !(h > 0) {
+		return nil, fmt.Errorf("kde: bandwidth must be positive, got %g", h)
+	}
+	return &Density{X: x, Bandwidth: h, Kernel: k}, nil
+}
+
+// At returns the density estimate f̂(x0) = (nh)⁻¹ Σ K((x0−X_i)/h).
+func (d *Density) At(x0 float64) float64 {
+	var s float64
+	h := d.Bandwidth
+	for _, xi := range d.X {
+		s += d.Kernel.Weight((x0 - xi) / h)
+	}
+	return s / (float64(len(d.X)) * h)
+}
+
+// Grid evaluates the density at each point of xs.
+func (d *Density) Grid(xs []float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x0 := range xs {
+		out[i] = d.At(x0)
+	}
+	return out
+}
+
+// LeaveOneOutAt returns f̂_{−i}(X_i), the leave-one-out density at the
+// i-th observation.
+func (d *Density) LeaveOneOutAt(i int) float64 {
+	var s float64
+	h := d.Bandwidth
+	xi := d.X[i]
+	for j, xj := range d.X {
+		if j == i {
+			continue
+		}
+		s += d.Kernel.Weight((xi - xj) / h)
+	}
+	return s / (float64(len(d.X)-1) * h)
+}
+
+// Silverman returns Silverman's rule-of-thumb bandwidth
+// 0.9·min(σ̂, IQR/1.349)·n^(−1/5), rescaled from its Gaussian calibration
+// to the requested kernel via the canonical bandwidth transformation.
+func Silverman(x []float64, k kernel.Kind) float64 {
+	return ruleOfThumb(x, k, 0.9)
+}
+
+// Scott returns Scott's rule 1.06·σ̂·n^(−1/5) (no IQR guard), rescaled to
+// the requested kernel.
+func Scott(x []float64, k kernel.Kind) float64 {
+	sd := stats.StdDev(x)
+	h := 1.06 * sd * math.Pow(float64(len(x)), -0.2)
+	return h * k.CanonicalBandwidthRatio()
+}
+
+func ruleOfThumb(x []float64, k kernel.Kind, c float64) float64 {
+	sd := stats.StdDev(x)
+	iqr := stats.IQR(x) / 1.349
+	spread := sd
+	if iqr > 0 && iqr < spread {
+		spread = iqr
+	}
+	h := c * spread * math.Pow(float64(len(x)), -0.2)
+	return h * k.CanonicalBandwidthRatio()
+}
+
+// convEpanechnikov is the convolution kernel (K⊛K)(t) for the
+// Epanechnikov kernel: (3/160)(32 − 40t² + 20|t|³ − |t|⁵) on |t| ≤ 2.
+// (K⊛K)(0) = 3/5 = R(K).
+func convEpanechnikov(t float64) float64 {
+	if t < 0 {
+		t = -t
+	}
+	if t > 2 {
+		return 0
+	}
+	t2 := t * t
+	return (3.0 / 160.0) * (32 - 40*t2 + 20*t2*t - t2*t2*t)
+}
+
+// LSCVScore computes the least-squares cross-validation criterion
+//
+//	LSCV(h) = ∫ f̂² − (2/n) Σ_i f̂_{−i}(X_i)
+//	        = (n²h)⁻¹ ΣΣ (K⊛K)((X_i−X_j)/h) − 2(n(n−1)h)⁻¹ Σ_{i≠j} K((X_i−X_j)/h)
+//
+// naively in O(n²), for the Epanechnikov and Gaussian kernels (the two
+// with closed-form convolutions implemented here).
+func LSCVScore(x []float64, h float64, k kernel.Kind) (float64, error) {
+	if len(x) < 2 {
+		return 0, ErrSample
+	}
+	if !(h > 0) {
+		return math.Inf(1), nil
+	}
+	conv, err := convolution(k)
+	if err != nil {
+		return 0, err
+	}
+	n := len(x)
+	var sumConv, sumK float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			t := (x[i] - x[j]) / h
+			sumConv += conv(t)
+			sumK += k.Weight(t)
+		}
+	}
+	sumConv += float64(n) * conv(0) // diagonal terms of the double sum
+	nf := float64(n)
+	return sumConv/(nf*nf*h) - 2*sumK/(nf*(nf-1)*h), nil
+}
+
+func convolution(k kernel.Kind) (func(float64) float64, error) {
+	switch k {
+	case kernel.Epanechnikov:
+		return convEpanechnikov, nil
+	case kernel.Gaussian:
+		return func(t float64) float64 {
+			// Convolution of two standard Gaussians: N(0, 2).
+			return math.Exp(-t*t/4) / (2 * math.Sqrt(math.Pi))
+		}, nil
+	default:
+		return nil, fmt.Errorf("kde: no convolution kernel implemented for %v", k)
+	}
+}
+
+// Result reports a KDE bandwidth selection.
+type Result struct {
+	H      float64
+	Score  float64
+	Index  int
+	Scores []float64
+}
+
+// SortedLSCVGrid evaluates LSCV(h) for an ascending grid of bandwidths
+// with the paper's sorted incremental technique, for the Epanechnikov
+// kernel. Per observation, two monotone pointers track the d ≤ h support
+// of K and the d ≤ 2h support of K⊛K, carrying prefix sums of |d|⁰, |d|²,
+// |d|³ and |d|⁵ — the same O(n log n)-per-observation structure as the
+// regression grid search, demonstrated here on the KDE problem.
+func SortedLSCVGrid(x []float64, grid []float64) (Result, error) {
+	if len(x) < 2 {
+		return Result{}, ErrSample
+	}
+	if len(grid) == 0 {
+		return Result{}, errors.New("kde: empty bandwidth grid")
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			return Result{}, fmt.Errorf("kde: grid must ascend (index %d)", i)
+		}
+	}
+	if !(grid[0] > 0) {
+		return Result{}, fmt.Errorf("kde: bandwidths must be positive, got %g", grid[0])
+	}
+	n := len(x)
+	k := len(grid)
+	// sumConv[j], sumK[j] accumulate the double sums for grid[j].
+	sumConv := make([]float64, k)
+	sumK := make([]float64, k)
+	absd := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		absd = absd[:0]
+		xi := x[i]
+		for l, xl := range x {
+			if l == i {
+				continue
+			}
+			d := xi - xl
+			if d < 0 {
+				d = -d
+			}
+			absd = append(absd, d)
+		}
+		sortx.QuickSort64(absd, nil)
+		// Pointer pK covers d ≤ h (kernel support), pC covers d ≤ 2h
+		// (convolution support); both advance monotonically with h.
+		var s0K, s2K float64           // count and Σd² within h
+		var s0C, s2C, s3C, s5C float64 // powers within 2h
+		pK, pC := 0, 0
+		for j, h := range grid {
+			for pK < len(absd) && absd[pK] <= h {
+				d := absd[pK]
+				s0K++
+				s2K += d * d
+				pK++
+			}
+			for pC < len(absd) && absd[pC] <= 2*h {
+				d := absd[pC]
+				d2 := d * d
+				s0C++
+				s2C += d2
+				s3C += d2 * d
+				s5C += d2 * d2 * d
+				pC++
+			}
+			h2 := h * h
+			sumK[j] += 0.75 * (s0K - s2K/h2)
+			sumConv[j] += (3.0 / 160.0) * (32*s0C - 40*s2C/h2 + 20*s3C/(h2*h) - s5C/(h2*h2*h))
+		}
+	}
+	nf := float64(n)
+	scores := make([]float64, k)
+	for j, h := range grid {
+		conv := sumConv[j] + nf*convEpanechnikov(0)
+		scores[j] = conv/(nf*nf*h) - 2*sumK[j]/(nf*(nf-1)*h)
+	}
+	best := 0
+	for j := 1; j < k; j++ {
+		if scores[j] < scores[best] {
+			best = j
+		}
+	}
+	return Result{H: grid[best], Score: scores[best], Index: best, Scores: scores}, nil
+}
+
+// SelectLSCV picks the LSCV-optimal bandwidth from the default grid: k
+// evenly spaced bandwidths from domain/k to the domain of X, mirroring the
+// regression selector's default.
+func SelectLSCV(x []float64, k int) (Result, error) {
+	if len(x) < 2 {
+		return Result{}, ErrSample
+	}
+	if k < 1 {
+		return Result{}, errors.New("kde: need at least one bandwidth")
+	}
+	domain := stats.Range(x)
+	if !(domain > 0) {
+		return Result{}, errors.New("kde: X has zero domain")
+	}
+	grid := make([]float64, k)
+	for j := 1; j <= k; j++ {
+		grid[j-1] = domain * float64(j) / float64(k)
+	}
+	return SortedLSCVGrid(x, grid)
+}

@@ -1,0 +1,222 @@
+// Package kernel defines the kernel weighting functions used by the
+// nonparametric estimators. The paper's implementation uses the
+// Epanechnikov kernel (its eq. 3); the package also provides the other
+// standard second-order kernels so the "straightforward to add additional
+// ones" extension the paper promises is realised. Each kernel carries the
+// analytic constants (roughness R(K), second moment κ₂, efficiency) that
+// rule-of-thumb bandwidth formulas need.
+package kernel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind enumerates the supported kernel weighting functions.
+type Kind int
+
+// Supported kernels. Epanechnikov is the paper's kernel and the package
+// default everywhere.
+const (
+	Epanechnikov Kind = iota
+	Uniform
+	Triangular
+	Gaussian
+	Biweight
+	Triweight
+	Cosine
+)
+
+// Kinds lists every supported kernel, in declaration order.
+func Kinds() []Kind {
+	return []Kind{Epanechnikov, Uniform, Triangular, Gaussian, Biweight, Triweight, Cosine}
+}
+
+// String returns the conventional name of the kernel.
+func (k Kind) String() string {
+	switch k {
+	case Epanechnikov:
+		return "epanechnikov"
+	case Uniform:
+		return "uniform"
+	case Triangular:
+		return "triangular"
+	case Gaussian:
+		return "gaussian"
+	case Biweight:
+		return "biweight"
+	case Triweight:
+		return "triweight"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("kernel.Kind(%d)", int(k))
+	}
+}
+
+// Parse returns the Kind named by s (case-sensitive, the String form).
+func Parse(s string) (Kind, error) {
+	for _, k := range Kinds() {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("kernel: unknown kernel %q", s)
+}
+
+// Compact reports whether the kernel has compact support [-1, 1]. The
+// paper's sorted incremental grid search requires a compact-support kernel
+// (its footnote 1: the approach works for Epanechnikov, Uniform and
+// Triangular; the Gaussian needs no sort because it never excludes
+// observations).
+func (k Kind) Compact() bool { return k != Gaussian }
+
+// Weight evaluates the kernel at u = (x_i - x_l)/h.
+func (k Kind) Weight(u float64) float64 {
+	switch k {
+	case Epanechnikov:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		return 0.75 * (1 - u*u)
+	case Uniform:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		return 0.5
+	case Triangular:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		return 1 - math.Abs(u)
+	case Gaussian:
+		return math.Exp(-0.5*u*u) / math.Sqrt(2*math.Pi)
+	case Biweight:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		t := 1 - u*u
+		return 0.9375 * t * t // 15/16
+	case Triweight:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		t := 1 - u*u
+		return 1.09375 * t * t * t // 35/32
+	case Cosine:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		return (math.Pi / 4) * math.Cos(math.Pi/2*u)
+	default:
+		panic("kernel: Weight on unknown kernel kind")
+	}
+}
+
+// Weight32 evaluates the kernel in single precision, mirroring the device
+// arithmetic. Only the compact kernels the device program supports have a
+// float32 path; Gaussian falls back through float64 math.Exp.
+func (k Kind) Weight32(u float32) float32 {
+	switch k {
+	case Epanechnikov:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		return 0.75 * (1 - u*u)
+	case Uniform:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		return 0.5
+	case Triangular:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		if u < 0 {
+			u = -u
+		}
+		return 1 - u
+	case Biweight:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		t := 1 - u*u
+		return 0.9375 * t * t
+	case Triweight:
+		if u < -1 || u > 1 {
+			return 0
+		}
+		t := 1 - u*u
+		return 1.09375 * t * t * t
+	default:
+		return float32(k.Weight(float64(u)))
+	}
+}
+
+// Roughness returns R(K) = ∫K(u)² du, the kernel roughness constant that
+// appears in asymptotic MSE and rule-of-thumb bandwidth formulas.
+func (k Kind) Roughness() float64 {
+	switch k {
+	case Epanechnikov:
+		return 3.0 / 5.0
+	case Uniform:
+		return 1.0 / 2.0
+	case Triangular:
+		return 2.0 / 3.0
+	case Gaussian:
+		return 1 / (2 * math.Sqrt(math.Pi))
+	case Biweight:
+		return 5.0 / 7.0
+	case Triweight:
+		return 350.0 / 429.0
+	case Cosine:
+		return math.Pi * math.Pi / 16
+	default:
+		panic("kernel: Roughness on unknown kernel kind")
+	}
+}
+
+// SecondMoment returns κ₂(K) = ∫u²K(u) du, the kernel's variance.
+func (k Kind) SecondMoment() float64 {
+	switch k {
+	case Epanechnikov:
+		return 1.0 / 5.0
+	case Uniform:
+		return 1.0 / 3.0
+	case Triangular:
+		return 1.0 / 6.0
+	case Gaussian:
+		return 1
+	case Biweight:
+		return 1.0 / 7.0
+	case Triweight:
+		return 1.0 / 9.0
+	case Cosine:
+		return 1 - 8/(math.Pi*math.Pi)
+	default:
+		panic("kernel: SecondMoment on unknown kernel kind")
+	}
+}
+
+// Efficiency returns the kernel's asymptotic efficiency relative to the
+// Epanechnikov kernel (which is optimal, efficiency 1). Defined as
+// [C(Epa)/C(K)]^(5/4)... conventionally reported as C(K) ratios; here we
+// return the standard (R(K)·κ₂(K)^(1/2))-based measure normalised so that
+// Epanechnikov = 1 and every other kernel is < 1.
+func (k Kind) Efficiency() float64 {
+	c := func(kk Kind) float64 {
+		return math.Sqrt(kk.SecondMoment()) * kk.Roughness()
+	}
+	return c(Epanechnikov) / c(k)
+}
+
+// CanonicalBandwidthRatio returns δ(K)/δ(Gaussian), the factor for
+// converting a bandwidth chosen for the Gaussian kernel to the equivalent
+// bandwidth for this kernel (canonical bandwidth transformation). Useful
+// when comparing CV optima across kernels in tests.
+func (k Kind) CanonicalBandwidthRatio() float64 {
+	delta := func(kk Kind) float64 {
+		return math.Pow(kk.Roughness()/(kk.SecondMoment()*kk.SecondMoment()), 0.2)
+	}
+	return delta(k) / delta(Gaussian)
+}

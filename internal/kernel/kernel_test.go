@@ -1,0 +1,186 @@
+package kernel
+
+import (
+	"math"
+	"testing"
+)
+
+// integrate numerically integrates f over [lo, hi] with Simpson's rule.
+func integrate(f func(float64) float64, lo, hi float64, steps int) float64 {
+	if steps%2 != 0 {
+		steps++
+	}
+	h := (hi - lo) / float64(steps)
+	sum := f(lo) + f(hi)
+	for i := 1; i < steps; i++ {
+		x := lo + float64(i)*h
+		if i%2 == 0 {
+			sum += 2 * f(x)
+		} else {
+			sum += 4 * f(x)
+		}
+	}
+	return sum * h / 3
+}
+
+func bounds(k Kind) (float64, float64) {
+	if k.Compact() {
+		return -1, 1
+	}
+	return -10, 10
+}
+
+func TestKernelsIntegrateToOne(t *testing.T) {
+	for _, k := range Kinds() {
+		lo, hi := bounds(k)
+		got := integrate(k.Weight, lo, hi, 20000)
+		if math.Abs(got-1) > 1e-6 {
+			t.Errorf("%v: ∫K = %v, want 1", k, got)
+		}
+	}
+}
+
+func TestKernelsSymmetric(t *testing.T) {
+	for _, k := range Kinds() {
+		for _, u := range []float64{0.1, 0.33, 0.77, 0.99, 1.5} {
+			if k.Weight(u) != k.Weight(-u) {
+				t.Errorf("%v not symmetric at %v", k, u)
+			}
+		}
+	}
+}
+
+func TestKernelsNonNegative(t *testing.T) {
+	for _, k := range Kinds() {
+		for u := -3.0; u <= 3.0; u += 0.01 {
+			if k.Weight(u) < 0 {
+				t.Errorf("%v negative at %v: %v", k, u, k.Weight(u))
+			}
+		}
+	}
+}
+
+func TestCompactSupport(t *testing.T) {
+	for _, k := range Kinds() {
+		if k == Gaussian {
+			if k.Compact() {
+				t.Error("Gaussian must not be compact")
+			}
+			if k.Weight(5) <= 0 {
+				t.Error("Gaussian should be positive everywhere")
+			}
+			continue
+		}
+		if !k.Compact() {
+			t.Errorf("%v should be compact", k)
+		}
+		if k.Weight(1.0001) != 0 || k.Weight(-1.0001) != 0 {
+			t.Errorf("%v should vanish outside [-1,1]", k)
+		}
+	}
+}
+
+func TestEpanechnikovFormula(t *testing.T) {
+	// The paper's eq. 3: K(u) = 0.75(1−u²)·1{|u|≤1}.
+	cases := map[float64]float64{0: 0.75, 0.5: 0.75 * 0.75, 1: 0, -1: 0, 2: 0}
+	for u, want := range cases {
+		if got := Epanechnikov.Weight(u); math.Abs(got-want) > 1e-15 {
+			t.Errorf("K(%v) = %v, want %v", u, got, want)
+		}
+	}
+}
+
+func TestRoughnessMatchesNumericIntegration(t *testing.T) {
+	for _, k := range Kinds() {
+		lo, hi := bounds(k)
+		got := integrate(func(u float64) float64 { w := k.Weight(u); return w * w }, lo, hi, 20000)
+		if math.Abs(got-k.Roughness()) > 1e-6 {
+			t.Errorf("%v: numeric R(K) = %v, analytic %v", k, got, k.Roughness())
+		}
+	}
+}
+
+func TestSecondMomentMatchesNumericIntegration(t *testing.T) {
+	for _, k := range Kinds() {
+		lo, hi := bounds(k)
+		if k == Gaussian {
+			lo, hi = -40, 40
+		}
+		got := integrate(func(u float64) float64 { return u * u * k.Weight(u) }, lo, hi, 40000)
+		if math.Abs(got-k.SecondMoment()) > 1e-5 {
+			t.Errorf("%v: numeric κ₂ = %v, analytic %v", k, got, k.SecondMoment())
+		}
+	}
+}
+
+func TestEpanechnikovIsMostEfficient(t *testing.T) {
+	if math.Abs(Epanechnikov.Efficiency()-1) > 1e-15 {
+		t.Errorf("Epanechnikov efficiency = %v, want 1", Epanechnikov.Efficiency())
+	}
+	for _, k := range Kinds() {
+		if k == Epanechnikov {
+			continue
+		}
+		if e := k.Efficiency(); e >= 1 || e <= 0 {
+			t.Errorf("%v efficiency = %v, want in (0,1)", k, e)
+		}
+	}
+}
+
+func TestCanonicalBandwidthRatio(t *testing.T) {
+	if math.Abs(Gaussian.CanonicalBandwidthRatio()-1) > 1e-15 {
+		t.Error("Gaussian canonical ratio should be 1")
+	}
+	// Known constant: Epanechnikov ≈ 2.214 relative to the Gaussian.
+	if r := Epanechnikov.CanonicalBandwidthRatio(); math.Abs(r-2.214) > 0.01 {
+		t.Errorf("Epanechnikov canonical ratio = %v, want ≈ 2.214", r)
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	for _, k := range Kinds() {
+		got, err := Parse(k.String())
+		if err != nil || got != k {
+			t.Errorf("Parse(%q) = %v, %v", k.String(), got, err)
+		}
+	}
+	if _, err := Parse("nonesuch"); err == nil {
+		t.Error("Parse of unknown kernel should fail")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown Kind should still stringify")
+	}
+}
+
+func TestWeight32MatchesWeight(t *testing.T) {
+	for _, k := range Kinds() {
+		for u := -2.0; u <= 2.0; u += 0.01 {
+			// Evaluate the float64 path at the same rounded argument the
+			// float32 path sees, so support-boundary rounding cancels.
+			w64 := float32(k.Weight(float64(float32(u))))
+			w32 := k.Weight32(float32(u))
+			diff := math.Abs(float64(w64 - w32))
+			if diff > 1e-6 {
+				t.Errorf("%v: Weight32(%v) = %v, Weight = %v", k, u, w32, w64)
+			}
+		}
+	}
+}
+
+func TestWeightAtSupportBoundary(t *testing.T) {
+	// |u| = 1 is inside the (closed) support but every compact kernel
+	// except Uniform vanishes there; the uniform keeps 0.5.
+	for _, k := range Kinds() {
+		if !k.Compact() {
+			continue
+		}
+		w := k.Weight(1)
+		if k == Uniform {
+			if w != 0.5 {
+				t.Errorf("Uniform at boundary = %v, want 0.5", w)
+			}
+		} else if math.Abs(w) > 1e-15 { // Cosine's cos(π/2) rounds to ~5e-17
+			t.Errorf("%v at boundary = %v, want 0", k, w)
+		}
+	}
+}

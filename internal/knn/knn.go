@@ -1,0 +1,182 @@
+// Package knn implements k-nearest-neighbour regression — the estimator
+// the paper's literature review contrasts with its fixed-bandwidth kernel
+// approach (§II: Creel & Zubair "use the k-nearest neighbor approach to
+// nonparametric estimation — which is more amenable to SIMD parallelism —
+// rather than the more common fixed-bandwidth kernel approach").
+//
+// The smoothing parameter here is the neighbour count k, and the paper's
+// sorted incremental idea applies even more directly than for bandwidths:
+// once observation i's neighbours are sorted by distance, the
+// leave-one-out estimate for *every* k is a prefix mean, so the whole
+// cross-validation curve over k = 1..K costs one sort plus one prefix
+// pass per observation — O(n² log n) for the complete curve.
+package knn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/sortx"
+)
+
+// ErrSample is returned for samples too small to cross-validate.
+var ErrSample = errors.New("knn: need at least 3 observations")
+
+// Model is a fitted k-NN regression.
+type Model struct {
+	X, Y []float64
+	K    int
+}
+
+// New validates and constructs a k-NN regression with k neighbours.
+func New(x, y []float64, k int) (*Model, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("knn: X has %d observations, Y has %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return nil, fmt.Errorf("knn: need at least 2 observations, have %d", len(x))
+	}
+	if k < 1 || k > len(x) {
+		return nil, fmt.Errorf("knn: k = %d outside [1, %d]", k, len(x))
+	}
+	return &Model{X: x, Y: y, K: k}, nil
+}
+
+// Predict returns the mean of the k nearest neighbours' responses at x0.
+// Distance ties at the k-th neighbour resolve by original index order
+// (deterministic).
+func (m *Model) Predict(x0 float64) float64 {
+	n := len(m.X)
+	dist := make([]float64, n)
+	yv := make([]float64, n)
+	for i, xi := range m.X {
+		d := x0 - xi
+		if d < 0 {
+			d = -d
+		}
+		dist[i] = d
+		yv[i] = m.Y[i]
+	}
+	sortx.QuickSort64(dist, yv)
+	var s float64
+	for i := 0; i < m.K; i++ {
+		s += yv[i]
+	}
+	return s / float64(m.K)
+}
+
+// Result is a neighbour-count selection.
+type Result struct {
+	K      int
+	CV     float64
+	Scores []float64 // CV for k = 1..len(Scores)
+}
+
+// SelectK cross-validates the neighbour count over k = 1..maxK
+// (maxK ≤ n−1) with the sorted prefix-mean sweep and returns the
+// CV-optimal k (ties resolve to the smaller k, i.e. less smoothing).
+func SelectK(x, y []float64, maxK int) (Result, error) {
+	n := len(x)
+	if n < 3 {
+		return Result{}, ErrSample
+	}
+	if len(y) != n {
+		return Result{}, fmt.Errorf("knn: X has %d observations, Y has %d", n, len(y))
+	}
+	if maxK < 1 {
+		maxK = n - 1
+	}
+	if maxK > n-1 {
+		maxK = n - 1
+	}
+	scores := make([]float64, maxK)
+	absd := make([]float64, 0, n)
+	yv := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		absd = absd[:0]
+		yv = yv[:0]
+		xi := x[i]
+		for l, xl := range x {
+			if l == i {
+				continue
+			}
+			d := xi - xl
+			if d < 0 {
+				d = -d
+			}
+			absd = append(absd, d)
+			yv = append(yv, y[l])
+		}
+		sortx.QuickSort64(absd, yv)
+		// Prefix means: the LOO k-NN estimate for every k at once.
+		var prefix float64
+		for k := 1; k <= maxK; k++ {
+			prefix += yv[k-1]
+			r := y[i] - prefix/float64(k)
+			scores[k-1] += r * r
+		}
+	}
+	for k := range scores {
+		scores[k] /= float64(n)
+	}
+	best := 0
+	for k := 1; k < maxK; k++ {
+		if scores[k] < scores[best] {
+			best = k
+		}
+	}
+	return Result{K: best + 1, CV: scores[best], Scores: scores}, nil
+}
+
+// CVScore evaluates the leave-one-out CV objective for a single k
+// naively, for cross-checking the sweep.
+func CVScore(x, y []float64, k int) float64 {
+	n := len(x)
+	if k < 1 || k > n-1 {
+		return math.Inf(1)
+	}
+	var total float64
+	absd := make([]float64, 0, n)
+	yv := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		absd = absd[:0]
+		yv = yv[:0]
+		for l := 0; l < n; l++ {
+			if l == i {
+				continue
+			}
+			d := x[i] - x[l]
+			if d < 0 {
+				d = -d
+			}
+			absd = append(absd, d)
+			yv = append(yv, y[l])
+		}
+		sortx.QuickSort64(absd, yv)
+		var s float64
+		for q := 0; q < k; q++ {
+			s += yv[q]
+		}
+		r := y[i] - s/float64(k)
+		total += r * r
+	}
+	return total / float64(n)
+}
+
+// EffectiveBandwidthAt returns the adaptive bandwidth the k-NN estimator
+// implies at x0: the distance to the k-th nearest neighbour. Useful for
+// comparing against fixed-bandwidth selections.
+func (m *Model) EffectiveBandwidthAt(x0 float64) float64 {
+	n := len(m.X)
+	dist := make([]float64, n)
+	for i, xi := range m.X {
+		d := x0 - xi
+		if d < 0 {
+			d = -d
+		}
+		dist[i] = d
+	}
+	sortx.QuickSort64(dist, nil)
+	return dist[m.K-1]
+}

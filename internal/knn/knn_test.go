@@ -1,0 +1,169 @@
+package knn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/data"
+	"repro/internal/mathx"
+)
+
+func TestNewValidation(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{1, 2, 3}
+	if _, err := New(x, y[:2], 1); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := New(x[:1], y[:1], 1); err == nil {
+		t.Error("single observation should fail")
+	}
+	if _, err := New(x, y, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := New(x, y, 4); err == nil {
+		t.Error("k>n should fail")
+	}
+}
+
+func TestPredictManual(t *testing.T) {
+	x := []float64{0, 1, 2, 10}
+	y := []float64{1, 2, 3, 100}
+	m, err := New(x, y, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At x0 = 0.4, the two nearest neighbours are x=0 and x=1.
+	if got := m.Predict(0.4); got != 1.5 {
+		t.Errorf("Predict = %v, want 1.5", got)
+	}
+	// k = n averages everything.
+	m4, _ := New(x, y, 4)
+	if got := m4.Predict(0.5); got != 26.5 {
+		t.Errorf("k=n Predict = %v, want 26.5", got)
+	}
+}
+
+func TestSelectKMatchesNaive(t *testing.T) {
+	d := data.GeneratePaper(120, 3)
+	res, err := SelectK(d.X, d.Y, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 40 {
+		t.Fatalf("scores length %d", len(res.Scores))
+	}
+	for _, k := range []int{1, 5, 17, 40} {
+		want := CVScore(d.X, d.Y, k)
+		if !mathx.AlmostEqual(res.Scores[k-1], want, 1e-10) {
+			t.Errorf("k=%d: sweep %v vs naive %v", k, res.Scores[k-1], want)
+		}
+	}
+	if res.Scores[res.K-1] != res.CV {
+		t.Error("CV misaligned with selected k")
+	}
+}
+
+func TestSelectKProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := data.Generate(data.Paper, 30+int(seed%50+50)%50, seed)
+		if d.Len() < 3 {
+			return true
+		}
+		res, err := SelectK(d.X, d.Y, 0)
+		if err != nil {
+			return false
+		}
+		if res.K < 1 || res.K > d.Len()-1 {
+			return false
+		}
+		// Reported CV must be the minimum of the curve.
+		for _, s := range res.Scores {
+			if s < res.CV {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelectKReasonableOnPaperDGP(t *testing.T) {
+	// On the smooth paper DGP with n = 500, the optimal k should be well
+	// inside (1, n-1): not interpolating, not the global mean.
+	d := data.GeneratePaper(500, 11)
+	res, err := SelectK(d.X, d.Y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.K < 3 || res.K > 200 {
+		t.Errorf("selected k = %d looks degenerate", res.K)
+	}
+	// The k-NN fit at the chosen k should track the truth.
+	m, _ := New(d.X, d.Y, res.K)
+	for _, x0 := range []float64{0.3, 0.6, 0.9} {
+		got := m.Predict(x0)
+		want := data.Paper.TrueMean(x0)
+		if math.Abs(got-want) > 0.2 {
+			t.Errorf("k-NN fit at %v = %v, want ≈ %v", x0, got, want)
+		}
+	}
+}
+
+func TestSelectKValidation(t *testing.T) {
+	if _, err := SelectK([]float64{1, 2}, []float64{1, 2}, 0); err != ErrSample {
+		t.Error("n<3 should fail")
+	}
+	if _, err := SelectK([]float64{1, 2, 3}, []float64{1, 2}, 0); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	// maxK clamps to n-1.
+	res, err := SelectK([]float64{1, 2, 3, 4}, []float64{1, 2, 3, 4}, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Scores) != 3 {
+		t.Errorf("maxK should clamp to n-1, got %d scores", len(res.Scores))
+	}
+}
+
+func TestCVScoreOutOfRange(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if !math.IsInf(CVScore(x, x, 0), 1) || !math.IsInf(CVScore(x, x, 3), 1) {
+		t.Error("out-of-range k should score +Inf")
+	}
+}
+
+func TestEffectiveBandwidth(t *testing.T) {
+	// Dense region → small adaptive bandwidth; sparse region → large.
+	d := data.Generate(data.Clustered, 400, 5)
+	m, err := New(d.X, d.Y, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense := m.EffectiveBandwidthAt(0.25) // cluster centre
+	sparse := m.EffectiveBandwidthAt(0.5) // the empty gap
+	if !(dense < sparse) {
+		t.Errorf("adaptive bandwidth should grow in sparse regions: %v vs %v", dense, sparse)
+	}
+}
+
+func TestKNNVsFixedBandwidthAgreeOnSmooth(t *testing.T) {
+	// Both estimators, each with its CV-chosen smoothing, should produce
+	// similar fits on the paper's DGP.
+	d := data.GeneratePaper(400, 21)
+	res, err := SelectK(d.X, d.Y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := New(d.X, d.Y, res.K)
+	for _, x0 := range []float64{0.25, 0.5, 0.75} {
+		knnFit := m.Predict(x0)
+		want := data.Paper.TrueMean(x0)
+		if math.Abs(knnFit-want) > 0.2 {
+			t.Errorf("k-NN (k=%d) at %v: %v vs truth %v", res.K, x0, knnFit, want)
+		}
+	}
+}

@@ -1,0 +1,359 @@
+// Package mathx provides the low-level numeric helpers shared by the
+// bandwidth-selection pipeline: compensated and pairwise summation, prefix
+// sums, float32 helpers that mirror the single-precision arithmetic the
+// paper's CUDA program performs on the device, and ULP-based comparisons
+// used by the host/device agreement tests.
+//
+// Everything here is allocation-free unless the signature returns a slice,
+// and every routine has a float64 and a float32 variant where the device
+// code needs one.
+package mathx
+
+import "math"
+
+// Abs32 returns the absolute value of a float32 without converting through
+// float64, matching fabsf semantics on the device.
+func Abs32(x float32) float32 {
+	return math.Float32frombits(math.Float32bits(x) &^ (1 << 31))
+}
+
+// Sqr returns x*x.
+func Sqr(x float64) float64 { return x * x }
+
+// Sqr32 returns x*x in single precision.
+func Sqr32(x float32) float32 { return x * x }
+
+// Min returns the smaller of a and b.
+func Min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinInt returns the smaller of a and b.
+func MinInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// MaxInt returns the larger of a and b.
+func MaxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// ClampInt limits x to the closed interval [lo, hi].
+func ClampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Sum returns the naive left-to-right sum of xs. It mirrors the accumulation
+// order of the sequential C program in the paper and is kept for
+// agreement tests; prefer KahanSum or PairwiseSum for accuracy.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Sum32 returns the naive left-to-right float32 sum of xs, mirroring the
+// device accumulation order.
+func Sum32(xs []float32) float32 {
+	var s float32
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// KahanSum returns the compensated (Kahan) sum of xs. The compensation term
+// recovers most of the low-order bits lost by naive accumulation and is the
+// summation used for host-side CV scores.
+func KahanSum(xs []float64) float64 {
+	var sum, c float64
+	for _, x := range xs {
+		y := x - c
+		t := sum + y
+		c = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// KahanAccumulator incrementally computes a compensated sum. The zero value
+// is ready to use.
+type KahanAccumulator struct {
+	sum, c float64
+}
+
+// Add folds x into the running compensated sum.
+func (k *KahanAccumulator) Add(x float64) {
+	y := x - k.c
+	t := k.sum + y
+	k.c = (t - k.sum) - y
+	k.sum = t
+}
+
+// Sum returns the current compensated total.
+func (k *KahanAccumulator) Sum() float64 { return k.sum }
+
+// Reset clears the accumulator to zero.
+func (k *KahanAccumulator) Reset() { k.sum, k.c = 0, 0 }
+
+// pairwiseCutoff is the block size below which PairwiseSum falls back to a
+// straight loop; 128 keeps the recursion shallow without hurting accuracy.
+const pairwiseCutoff = 128
+
+// PairwiseSum returns the pairwise (cascade) sum of xs: O(log n) error growth
+// versus O(n) for naive summation, with no compensation term to carry.
+func PairwiseSum(xs []float64) float64 {
+	n := len(xs)
+	if n <= pairwiseCutoff {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s
+	}
+	mid := n / 2
+	return PairwiseSum(xs[:mid]) + PairwiseSum(xs[mid:])
+}
+
+// PrefixSums writes the inclusive prefix sums of xs into dst and returns dst.
+// If dst is nil or too short a new slice is allocated. PrefixSums is the
+// host-side mirror of the incremental bandwidth accumulation the paper's
+// device kernel performs.
+func PrefixSums(dst, xs []float64) []float64 {
+	if cap(dst) < len(xs) {
+		dst = make([]float64, len(xs))
+	}
+	dst = dst[:len(xs)]
+	var s float64
+	for i, x := range xs {
+		s += x
+		dst[i] = s
+	}
+	return dst
+}
+
+// PrefixSums32 is the single-precision variant of PrefixSums.
+func PrefixSums32(dst, xs []float32) []float32 {
+	if cap(dst) < len(xs) {
+		dst = make([]float32, len(xs))
+	}
+	dst = dst[:len(xs)]
+	var s float32
+	for i, x := range xs {
+		s += x
+		dst[i] = s
+	}
+	return dst
+}
+
+// ULPDiff32 returns the distance in units-in-the-last-place between a and b.
+// NaNs return the maximum int64; equal values (including -0 vs +0) return 0.
+func ULPDiff32(a, b float32) int64 {
+	if a == b {
+		return 0
+	}
+	if a != a || b != b { // NaN
+		return math.MaxInt64
+	}
+	ai := orderedBits32(a)
+	bi := orderedBits32(b)
+	d := ai - bi
+	if d < 0 {
+		d = -d
+	}
+	return d
+}
+
+// orderedBits32 maps the float32 bit pattern to a monotone signed integer so
+// that ULP distances can be computed with integer subtraction.
+func orderedBits32(f float32) int64 {
+	b := int64(int32(math.Float32bits(f)))
+	if b < 0 {
+		// Mirror negative floats so the map is monotone and -0 lands on
+		// the same value as +0.
+		b = int64(math.MinInt32) - b
+	}
+	return b
+}
+
+// WithinULP32 reports whether a and b are within ulps units in the last
+// place of each other.
+func WithinULP32(a, b float32, ulps int64) bool {
+	return ULPDiff32(a, b) <= ulps
+}
+
+// RelDiff returns |a-b| / max(|a|, |b|, 1), a scale-free difference measure
+// used when comparing CV scores between selectors.
+func RelDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1 {
+		m = 1
+	}
+	return d / m
+}
+
+// AlmostEqual reports whether a and b agree to within tol in the RelDiff
+// metric.
+func AlmostEqual(a, b, tol float64) bool { return RelDiff(a, b) <= tol }
+
+// Linspace returns k evenly spaced values from lo to hi inclusive. k must be
+// at least 1; with k == 1 it returns []float64{lo}.
+func Linspace(lo, hi float64, k int) []float64 {
+	if k < 1 {
+		panic("mathx: Linspace requires k >= 1")
+	}
+	out := make([]float64, k)
+	if k == 1 {
+		out[0] = lo
+		return out
+	}
+	step := (hi - lo) / float64(k-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[k-1] = hi // avoid accumulated drift at the top endpoint
+	return out
+}
+
+// Dot returns the float64 dot product of equal-length x and y.
+func Dot(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("mathx: Dot length mismatch")
+	}
+	var s float64
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// Scale multiplies every element of xs by c in place and returns xs.
+func Scale(xs []float64, c float64) []float64 {
+	for i := range xs {
+		xs[i] *= c
+	}
+	return xs
+}
+
+// ToFloat32 converts xs to a new float32 slice, the host→device precision
+// narrowing step the paper performs when copying data to the GPU.
+func ToFloat32(xs []float64) []float32 {
+	out := make([]float32, len(xs))
+	for i, x := range xs {
+		out[i] = float32(x)
+	}
+	return out
+}
+
+// ToFloat64 converts xs to a new float64 slice (device→host widening).
+func ToFloat64(xs []float32) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = float64(x)
+	}
+	return out
+}
+
+// ArgMin returns the index of the smallest element of xs and that element.
+// Ties resolve to the lowest index, matching the device arg-min reduction.
+// It panics on an empty slice.
+func ArgMin(xs []float64) (int, float64) {
+	if len(xs) == 0 {
+		panic("mathx: ArgMin of empty slice")
+	}
+	best, bv := 0, xs[0]
+	for i, x := range xs[1:] {
+		if x < bv {
+			best, bv = i+1, x
+		}
+	}
+	return best, bv
+}
+
+// ArgMin32 is the float32 variant of ArgMin.
+func ArgMin32(xs []float32) (int, float32) {
+	if len(xs) == 0 {
+		panic("mathx: ArgMin32 of empty slice")
+	}
+	best, bv := 0, xs[0]
+	for i, x := range xs[1:] {
+		if x < bv {
+			best, bv = i+1, x
+		}
+	}
+	return best, bv
+}
+
+// IsFinite reports whether x is neither NaN nor ±Inf.
+func IsFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
+// IsFinite32 reports whether x is neither NaN nor ±Inf.
+func IsFinite32(x float32) bool {
+	f := float64(x)
+	return !math.IsNaN(f) && !math.IsInf(f, 0)
+}
+
+// NextPow2 returns the smallest power of two >= n (n >= 1). Used to size
+// reduction trees on the simulated device.
+func NextPow2(n int) int {
+	if n <= 1 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// ILog2 returns floor(log2(n)) for n >= 1.
+func ILog2(n int) int {
+	if n < 1 {
+		panic("mathx: ILog2 of non-positive value")
+	}
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,321 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAbs32(t *testing.T) {
+	cases := []struct{ in, want float32 }{
+		{1.5, 1.5}, {-1.5, 1.5}, {0, 0}, {-0, 0},
+		{float32(math.Inf(-1)), float32(math.Inf(1))},
+	}
+	for _, c := range cases {
+		if got := Abs32(c.in); got != c.want {
+			t.Errorf("Abs32(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if !math.IsNaN(float64(Abs32(float32(math.NaN())))) {
+		t.Error("Abs32(NaN) should be NaN")
+	}
+	// Negative zero must map to positive zero bit pattern.
+	if math.Signbit(float64(Abs32(float32(math.Copysign(0, -1))))) {
+		t.Error("Abs32(-0) kept the sign bit")
+	}
+}
+
+func TestAbs32MatchesFloat64(t *testing.T) {
+	f := func(x float32) bool {
+		return Abs32(x) == float32(math.Abs(float64(x)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxClamp(t *testing.T) {
+	if Min(2, 3) != 2 || Min(3, 2) != 2 {
+		t.Error("Min wrong")
+	}
+	if Max(2, 3) != 3 || Max(3, 2) != 3 {
+		t.Error("Max wrong")
+	}
+	if MinInt(2, 3) != 2 || MaxInt(2, 3) != 3 {
+		t.Error("int min/max wrong")
+	}
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp wrong")
+	}
+	if ClampInt(5, 0, 3) != 3 || ClampInt(-1, 0, 3) != 0 || ClampInt(2, 0, 3) != 2 {
+		t.Error("ClampInt wrong")
+	}
+}
+
+func TestKahanSumBeatsNaive(t *testing.T) {
+	// A sum that defeats naive accumulation: many tiny values after one
+	// large one.
+	xs := make([]float64, 1_000_001)
+	xs[0] = 1e16
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 1
+	}
+	want := 1e16 + 1e6
+	kahan := KahanSum(xs)
+	if kahan != want {
+		t.Errorf("KahanSum = %v, want %v", kahan, want)
+	}
+	naive := Sum(xs)
+	if math.Abs(naive-want) <= math.Abs(kahan-want) {
+		t.Log("naive happened to match on this platform; acceptable but unexpected")
+	}
+}
+
+func TestKahanAccumulatorMatchesKahanSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(10)))
+	}
+	var acc KahanAccumulator
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	if acc.Sum() != KahanSum(xs) {
+		t.Errorf("accumulator %v != KahanSum %v", acc.Sum(), KahanSum(xs))
+	}
+	acc.Reset()
+	if acc.Sum() != 0 {
+		t.Error("Reset did not zero the accumulator")
+	}
+}
+
+func TestPairwiseSumAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	exact := KahanSum(xs)
+	if RelDiff(PairwiseSum(xs), exact) > 1e-12 {
+		t.Errorf("PairwiseSum far from compensated sum: %v vs %v", PairwiseSum(xs), exact)
+	}
+}
+
+func TestSumEmptyAndSingle(t *testing.T) {
+	if Sum(nil) != 0 || KahanSum(nil) != 0 || PairwiseSum(nil) != 0 {
+		t.Error("empty sums should be 0")
+	}
+	if Sum([]float64{3.5}) != 3.5 || PairwiseSum([]float64{3.5}) != 3.5 {
+		t.Error("single-element sums wrong")
+	}
+	if Sum32([]float32{2.5}) != 2.5 {
+		t.Error("Sum32 wrong")
+	}
+}
+
+func TestPrefixSums(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	got := PrefixSums(nil, xs)
+	want := []float64{1, 3, 6, 10}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("PrefixSums = %v, want %v", got, want)
+		}
+	}
+	// Reuse a destination buffer.
+	dst := make([]float64, 10)
+	got2 := PrefixSums(dst, xs)
+	if len(got2) != 4 || got2[3] != 10 {
+		t.Errorf("PrefixSums with dst = %v", got2)
+	}
+	got32 := PrefixSums32(nil, []float32{1, 2, 3})
+	if got32[2] != 6 {
+		t.Errorf("PrefixSums32 = %v", got32)
+	}
+}
+
+func TestULPDiff32(t *testing.T) {
+	if ULPDiff32(1.0, 1.0) != 0 {
+		t.Error("equal values should have 0 ULP")
+	}
+	next := math.Nextafter32(1.0, 2.0)
+	if ULPDiff32(1.0, next) != 1 {
+		t.Errorf("adjacent floats should differ by 1 ULP, got %d", ULPDiff32(1.0, next))
+	}
+	if ULPDiff32(float32(math.NaN()), 1.0) != math.MaxInt64 {
+		t.Error("NaN should be maximally distant")
+	}
+	// Across zero: -smallest to +smallest is 2 ULPs.
+	tiny := math.Nextafter32(0, 1)
+	if d := ULPDiff32(-tiny, tiny); d != 2 {
+		t.Errorf("ULP across zero = %d, want 2", d)
+	}
+	if !WithinULP32(1.0, next, 1) || WithinULP32(1.0, next, 0) {
+		t.Error("WithinULP32 thresholds wrong")
+	}
+}
+
+func TestULPDiffSymmetric(t *testing.T) {
+	f := func(a, b float32) bool {
+		return ULPDiff32(a, b) == ULPDiff32(b, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelDiff(t *testing.T) {
+	if RelDiff(1, 1) != 0 {
+		t.Error("RelDiff of equal values should be 0")
+	}
+	if got := RelDiff(100, 101); math.Abs(got-1.0/101) > 1e-15 {
+		t.Errorf("RelDiff(100,101) = %v", got)
+	}
+	// Small values are measured absolutely (denominator floored at 1).
+	if got := RelDiff(0.001, 0.002); math.Abs(got-0.001) > 1e-15 {
+		t.Errorf("RelDiff small = %v", got)
+	}
+	if !AlmostEqual(1, 1+1e-10, 1e-9) || AlmostEqual(1, 2, 0.1) {
+		t.Error("AlmostEqual thresholds wrong")
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-15 {
+			t.Fatalf("Linspace = %v", got)
+		}
+	}
+	if got := Linspace(3, 7, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace k=1 = %v", got)
+	}
+	// Endpoint must be exact despite accumulation.
+	g := Linspace(0.1, 0.9, 1000)
+	if g[999] != 0.9 {
+		t.Errorf("endpoint drifted: %v", g[999])
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Linspace(.,.,0) should panic")
+		}
+	}()
+	Linspace(0, 1, 0)
+}
+
+func TestDotScale(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Error("Dot wrong")
+	}
+	xs := []float64{1, 2}
+	Scale(xs, 3)
+	if xs[0] != 3 || xs[1] != 6 {
+		t.Error("Scale wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot length mismatch should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestFloat32Conversions(t *testing.T) {
+	xs := []float64{0.1, 0.2, 1e-40, 1e40}
+	f32 := ToFloat32(xs)
+	if f32[0] != float32(0.1) || f32[1] != float32(0.2) {
+		t.Error("ToFloat32 wrong")
+	}
+	if !math.IsInf(float64(f32[3]), 1) {
+		t.Error("float32 overflow should produce +Inf")
+	}
+	back := ToFloat64(f32[:2])
+	if back[0] != float64(float32(0.1)) {
+		t.Error("ToFloat64 wrong")
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	i, v := ArgMin([]float64{3, 1, 2})
+	if i != 1 || v != 1 {
+		t.Errorf("ArgMin = %d, %v", i, v)
+	}
+	// Ties resolve to the lowest index.
+	i, _ = ArgMin([]float64{2, 1, 1, 1})
+	if i != 1 {
+		t.Errorf("ArgMin tie = %d, want 1", i)
+	}
+	i32, v32 := ArgMin32([]float32{5, 4, 4})
+	if i32 != 1 || v32 != 4 {
+		t.Errorf("ArgMin32 = %d, %v", i32, v32)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ArgMin(empty) should panic")
+		}
+	}()
+	ArgMin(nil)
+}
+
+func TestIsFinite(t *testing.T) {
+	if !IsFinite(1) || IsFinite(math.NaN()) || IsFinite(math.Inf(1)) {
+		t.Error("IsFinite wrong")
+	}
+	if !IsFinite32(1) || IsFinite32(float32(math.NaN())) || IsFinite32(float32(math.Inf(-1))) {
+		t.Error("IsFinite32 wrong")
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{0: 1, 1: 1, 2: 2, 3: 4, 4: 4, 5: 8, 1000: 1024, 1024: 1024}
+	for in, want := range cases {
+		if got := NextPow2(in); got != want {
+			t.Errorf("NextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestILog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10}
+	for in, want := range cases {
+		if got := ILog2(in); got != want {
+			t.Errorf("ILog2(%d) = %d, want %d", in, got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("ILog2(0) should panic")
+		}
+	}()
+	ILog2(0)
+}
+
+func TestSqr(t *testing.T) {
+	if Sqr(3) != 9 || Sqr32(3) != 9 {
+		t.Error("Sqr wrong")
+	}
+}
+
+func TestSumOrderIndependenceProperty(t *testing.T) {
+	// Kahan summation of a reversed slice must agree with the forward sum
+	// to near machine precision.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if IsFinite(v) && math.Abs(v) < 1e12 {
+				xs = append(xs, v)
+			}
+		}
+		rev := make([]float64, len(xs))
+		for i, v := range xs {
+			rev[len(xs)-1-i] = v
+		}
+		return RelDiff(KahanSum(xs), KahanSum(rev)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,342 @@
+package mvreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bandwidth"
+	"repro/internal/kernel"
+	"repro/internal/mathx"
+)
+
+// bivariateSample draws X uniformly on the unit square with
+// Y = X₁ + 2·X₂² + noise.
+func bivariateSample(n int, seed int64) Sample {
+	rng := rand.New(rand.NewSource(seed))
+	s := Sample{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		s.X[i] = []float64{x1, x2}
+		s.Y[i] = x1 + 2*x2*x2 + 0.2*rng.NormFloat64()
+	}
+	return s
+}
+
+func TestValidate(t *testing.T) {
+	good := bivariateSample(10, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Sample{
+		{X: [][]float64{{1, 2}}, Y: []float64{1, 2}},
+		{X: [][]float64{{1, 2}}, Y: []float64{1}},
+		{X: [][]float64{{1, 2}, {1}}, Y: []float64{1, 2}},
+		{X: [][]float64{{}, {}}, Y: []float64{1, 2}},
+		{X: [][]float64{{1, math.NaN()}, {1, 2}}, Y: []float64{1, 2}},
+		{X: [][]float64{{1, 2}, {3, 4}}, Y: []float64{1, math.Inf(1)}},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d should be invalid", i)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	s := bivariateSample(20, 2)
+	if _, err := New(s, []float64{0.1}, kernel.Epanechnikov); err == nil {
+		t.Error("wrong bandwidth count should fail")
+	}
+	if _, err := New(s, []float64{0.1, 0}, kernel.Epanechnikov); err == nil {
+		t.Error("zero bandwidth should fail")
+	}
+	m, err := New(s, []float64{0.2, 0.3}, kernel.Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New must copy the bandwidth slice.
+	h := []float64{0.2, 0.3}
+	m2, _ := New(s, h, kernel.Epanechnikov)
+	h[0] = 99
+	if m2.H[0] == 99 {
+		t.Error("New should copy the bandwidths")
+	}
+	_ = m
+}
+
+func TestPredictConstantY(t *testing.T) {
+	s := bivariateSample(50, 3)
+	for i := range s.Y {
+		s.Y[i] = 7
+	}
+	m, err := New(s, []float64{0.3, 0.3}, kernel.Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := m.Predict([]float64{0.5, 0.5})
+	if !ok || math.Abs(got-7) > 1e-12 {
+		t.Errorf("constant-Y prediction = %v, %v", got, ok)
+	}
+}
+
+func TestPredictEmptyNeighbourhood(t *testing.T) {
+	s := Sample{X: [][]float64{{0, 0}, {1, 1}}, Y: []float64{1, 2}}
+	m, err := New(s, []float64{0.1, 0.1}, kernel.Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Predict([]float64{0.5, 0.5}); ok {
+		t.Error("isolated point should report ok=false")
+	}
+}
+
+func TestPredictRecoverySurface(t *testing.T) {
+	s := bivariateSample(4000, 4)
+	m, err := New(s, []float64{0.1, 0.1}, kernel.Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range [][]float64{{0.3, 0.3}, {0.5, 0.7}, {0.8, 0.2}} {
+		got, ok := m.Predict(pt)
+		want := pt[0] + 2*pt[1]*pt[1]
+		if !ok || math.Abs(got-want) > 0.15 {
+			t.Errorf("ĝ(%v) = %v, want ≈ %v", pt, got, want)
+		}
+	}
+}
+
+func TestCVScoreReducesToUnivariate(t *testing.T) {
+	// A 1-dimensional mvreg sample must give exactly the bandwidth
+	// package's CV score.
+	rng := rand.New(rand.NewSource(5))
+	n := 80
+	x := make([]float64, n)
+	y := make([]float64, n)
+	s := Sample{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x[i] = rng.Float64()
+		y[i] = rng.NormFloat64()
+		s.X[i] = []float64{x[i]}
+		s.Y[i] = y[i]
+	}
+	for _, h := range []float64{0.05, 0.2, 0.9} {
+		a := CVScore(s, []float64{h}, kernel.Epanechnikov)
+		b := bandwidth.CVScore(x, y, h, kernel.Epanechnikov)
+		if !mathx.AlmostEqual(a, b, 1e-12) {
+			t.Errorf("h=%v: mv %v vs uni %v", h, a, b)
+		}
+	}
+}
+
+func TestSweepDimensionMatchesNaive(t *testing.T) {
+	// The weighted sorted sweep must reproduce the naive CV score for
+	// every candidate bandwidth of the swept dimension.
+	s := bivariateSample(60, 7)
+	hFixed := []float64{0.3, 0.4}
+	grid := []float64{0.1, 0.2, 0.3, 0.5, 0.8}
+	for dim := 0; dim < 2; dim++ {
+		scores := sweepDimension(s, hFixed, dim, grid)
+		for q, hc := range grid {
+			h := append([]float64(nil), hFixed...)
+			h[dim] = hc
+			want := CVScore(s, h, kernel.Epanechnikov)
+			if !mathx.AlmostEqual(scores[q], want, 1e-9) {
+				t.Errorf("dim %d h=%v: sweep %v vs naive %v", dim, hc, scores[q], want)
+			}
+		}
+	}
+}
+
+func TestDefaultGrids(t *testing.T) {
+	s := bivariateSample(100, 8)
+	grids, err := DefaultGrids(s, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grids) != 2 || len(grids[0]) != 10 {
+		t.Fatalf("grid geometry wrong")
+	}
+	for j := range grids {
+		for q := 1; q < len(grids[j]); q++ {
+			if grids[j][q] <= grids[j][q-1] {
+				t.Fatalf("grid %d not ascending", j)
+			}
+		}
+	}
+	// Degenerate dimension.
+	for i := range s.X {
+		s.X[i][1] = 0.5
+	}
+	if _, err := DefaultGrids(s, 10); err == nil {
+		t.Error("zero-domain dimension should fail")
+	}
+}
+
+func TestMeshSearchExactOnSmallMesh(t *testing.T) {
+	s := bivariateSample(50, 9)
+	grids := [][]float64{{0.2, 0.4, 0.8}, {0.2, 0.4, 0.8}}
+	res, err := MeshSearch(s, grids, kernel.Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evals != 9 {
+		t.Errorf("mesh should evaluate 9 cells, did %d", res.Evals)
+	}
+	// Exhaustive check.
+	best := math.Inf(1)
+	var bestH []float64
+	for _, h1 := range grids[0] {
+		for _, h2 := range grids[1] {
+			cv := CVScore(s, []float64{h1, h2}, kernel.Epanechnikov)
+			if cv < best {
+				best = cv
+				bestH = []float64{h1, h2}
+			}
+		}
+	}
+	if !mathx.AlmostEqual(res.CV, best, 1e-12) || res.H[0] != bestH[0] || res.H[1] != bestH[1] {
+		t.Errorf("mesh best %v (%v) vs exhaustive %v (%v)", res.H, res.CV, bestH, best)
+	}
+}
+
+func TestMeshSearchGuards(t *testing.T) {
+	s := bivariateSample(20, 10)
+	big := make([]float64, 2000)
+	for i := range big {
+		big[i] = float64(i+1) * 0.001
+	}
+	if _, err := MeshSearch(s, [][]float64{big, big}, kernel.Epanechnikov); err == nil {
+		t.Error("oversized mesh should be refused")
+	}
+	if _, err := MeshSearch(s, [][]float64{{0.1}}, kernel.Epanechnikov); err == nil {
+		t.Error("grid-count mismatch should fail")
+	}
+	if _, err := MeshSearch(s, [][]float64{{0.1}, {}}, kernel.Epanechnikov); err == nil {
+		t.Error("empty grid should fail")
+	}
+}
+
+func TestCoordinateDescentReachesCoordinatewiseOptimum(t *testing.T) {
+	s := bivariateSample(120, 11)
+	grids, err := DefaultGrids(s, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CoordinateDescent(s, grids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sweeps < 1 || res.Evals == 0 {
+		t.Errorf("descent bookkeeping: %+v", res)
+	}
+	// No single-coordinate move on the grid improves the CV.
+	base := CVScore(s, res.H, kernel.Epanechnikov)
+	if !mathx.AlmostEqual(base, res.CV, 1e-9) {
+		t.Errorf("reported CV %v vs recomputed %v", res.CV, base)
+	}
+	for dim := 0; dim < 2; dim++ {
+		for _, hc := range grids[dim] {
+			h := append([]float64(nil), res.H...)
+			h[dim] = hc
+			if cv := CVScore(s, h, kernel.Epanechnikov); cv < base-1e-9 {
+				t.Errorf("coordinate move dim %d h=%v improves CV: %v < %v", dim, hc, cv, base)
+			}
+		}
+	}
+}
+
+func TestCoordinateDescentAgreesWithMesh(t *testing.T) {
+	// On a well-behaved surface the coordinate-wise optimum should match
+	// the full mesh optimum (or at least its CV within a whisker).
+	s := bivariateSample(80, 13)
+	grids := [][]float64{{0.1, 0.2, 0.3, 0.5, 0.8}, {0.1, 0.2, 0.3, 0.5, 0.8}}
+	mesh, err := MeshSearch(s, grids, kernel.Epanechnikov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cd, err := CoordinateDescent(s, grids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cd.CV > mesh.CV*1.05 {
+		t.Errorf("descent CV %v far above mesh CV %v", cd.CV, mesh.CV)
+	}
+	if cd.Evals >= mesh.Evals*len(s.X) {
+		t.Error("descent should evaluate far fewer full objectives than the mesh")
+	}
+}
+
+func TestCoordinateDescentValidation(t *testing.T) {
+	s := bivariateSample(20, 14)
+	if _, err := CoordinateDescent(s, [][]float64{{0.1}}, 0); err == nil {
+		t.Error("grid-count mismatch should fail")
+	}
+	if _, err := CoordinateDescent(s, [][]float64{{0.2, 0.1}, {0.1}}, 0); err == nil {
+		t.Error("descending grid should fail")
+	}
+	if _, err := CoordinateDescent(s, [][]float64{{-0.1, 0.2}, {0.1}}, 0); err == nil {
+		t.Error("negative bandwidth should fail")
+	}
+	if _, err := CoordinateDescent(s, [][]float64{{0.1}, {}}, 0); err == nil {
+		t.Error("empty grid should fail")
+	}
+}
+
+func TestAnisotropicBandwidths(t *testing.T) {
+	// Y depends sharply on X₂ and weakly on X₁: CV should choose a
+	// noticeably smaller bandwidth for X₂ than for X₁.
+	rng := rand.New(rand.NewSource(15))
+	n := 400
+	s := Sample{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		x1, x2 := rng.Float64(), rng.Float64()
+		s.X[i] = []float64{x1, x2}
+		s.Y[i] = 0.1*x1 + math.Sin(6*math.Pi*x2) + 0.1*rng.NormFloat64()
+	}
+	grids, err := DefaultGrids(s, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CoordinateDescent(s, grids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.H[1] < res.H[0]) {
+		t.Errorf("expected h₂ < h₁ for the wavy dimension, got %v", res.H)
+	}
+}
+
+func TestTrivariateCoordinateDescent(t *testing.T) {
+	// Three dimensions: the mesh would cost k³ cells; coordinate descent
+	// stays linear in d and still reaches a coordinate-wise optimum.
+	rng := rand.New(rand.NewSource(33))
+	n := 200
+	s := Sample{X: make([][]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		s.X[i] = []float64{a, b, c}
+		s.Y[i] = a + 0.5*b*b + math.Sin(4*c) + 0.1*rng.NormFloat64()
+	}
+	grids, err := DefaultGrids(s, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := CoordinateDescent(s, grids, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.H) != 3 {
+		t.Fatalf("bandwidth vector length %d", len(res.H))
+	}
+	base := CVScore(s, res.H, kernel.Epanechnikov)
+	for dim := 0; dim < 3; dim++ {
+		for _, hc := range grids[dim] {
+			h := append([]float64(nil), res.H...)
+			h[dim] = hc
+			if cv := CVScore(s, h, kernel.Epanechnikov); cv < base-1e-9 {
+				t.Errorf("dim %d h=%v improves CV: %v < %v", dim, hc, cv, base)
+			}
+		}
+	}
+}

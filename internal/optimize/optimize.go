@@ -1,0 +1,294 @@
+// Package optimize implements the derivative-free one-dimensional
+// minimisers that the paper's R baselines rely on: golden-section search,
+// Brent's method, and a 1-D Nelder–Mead, plus a multi-start wrapper.
+//
+// The paper's central reliability argument is that the CV objective is not
+// concave, so these methods can converge to non-global minima depending on
+// the starting point — exactly the behaviour Programs 1 and 2 reproduce in
+// this repository, and which the grid search avoids. The implementations
+// count objective evaluations so the harness can attribute run time.
+package optimize
+
+import (
+	"errors"
+	"math"
+)
+
+// Objective is a scalar function to minimise over a closed interval.
+type Objective func(x float64) float64
+
+// Result describes the outcome of a minimisation.
+type Result struct {
+	X     float64 // argmin found
+	F     float64 // objective value at X
+	Evals int     // number of objective evaluations performed
+	Iters int     // iterations of the outer loop
+}
+
+// ErrBadBracket is returned when lo >= hi.
+var ErrBadBracket = errors.New("optimize: invalid bracket (lo >= hi)")
+
+// invphi = 1/φ and invphi2 = 1/φ² for the golden-section ratios.
+var (
+	invphi  = (math.Sqrt(5) - 1) / 2
+	invphi2 = (3 - math.Sqrt(5)) / 2
+)
+
+// GoldenSection minimises f over [lo, hi] by golden-section search,
+// stopping when the bracket is narrower than tol or maxIter iterations
+// have run. It converges to *a* local minimum inside the bracket; on a
+// multimodal objective the result depends on the bracket, which is the
+// failure mode the paper attributes to R's optimisers.
+func GoldenSection(f Objective, lo, hi, tol float64, maxIter int) (Result, error) {
+	if lo >= hi {
+		return Result{}, ErrBadBracket
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	a, b := lo, hi
+	h := b - a
+	c := a + invphi2*h
+	d := a + invphi*h
+	fc, fd := f(c), f(d)
+	evals, iters := 2, 0
+	for h > tol && iters < maxIter {
+		iters++
+		if fc < fd {
+			b, d, fd = d, c, fc
+			h = b - a
+			c = a + invphi2*h
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			h = b - a
+			d = a + invphi*h
+			fd = f(d)
+		}
+		evals++
+	}
+	var x, fx float64
+	if fc < fd {
+		x, fx = c, fc
+	} else {
+		x, fx = d, fd
+	}
+	return Result{X: x, F: fx, Evals: evals, Iters: iters}, nil
+}
+
+// Brent minimises f over [lo, hi] with Brent's method (golden-section
+// interleaved with successive parabolic interpolation), the algorithm
+// behind R's optimize(). tol is the absolute x tolerance.
+func Brent(f Objective, lo, hi, tol float64, maxIter int) (Result, error) {
+	if lo >= hi {
+		return Result{}, ErrBadBracket
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	const cgold = 0.3819660112501051 // 2 - φ
+	const zeps = 1e-12
+	a, b := lo, hi
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	evals, iters := 1, 0
+	var d, e float64
+	for iters < maxIter {
+		iters++
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + zeps
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			break
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Try a parabolic fit through x, v, w.
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etemp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		evals++
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, fv = w, fw
+				w, fw = u, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return Result{X: x, F: fx, Evals: evals, Iters: iters}, nil
+}
+
+// NelderMead1D minimises f starting from x0 with a one-dimensional
+// Nelder–Mead (reflect/expand/contract/shrink on a 2-point simplex),
+// clamped to [lo, hi]. This mirrors R's optim(method="Nelder-Mead")
+// applied to the CV objective, including its habit of settling into the
+// local minimum nearest the start.
+func NelderMead1D(f Objective, x0, lo, hi, tol float64, maxIter int) (Result, error) {
+	if lo >= hi {
+		return Result{}, ErrBadBracket
+	}
+	if tol <= 0 {
+		tol = 1e-8
+	}
+	if maxIter <= 0 {
+		maxIter = 400
+	}
+	clamp := func(x float64) float64 {
+		if x < lo {
+			return lo
+		}
+		if x > hi {
+			return hi
+		}
+		return x
+	}
+	step := (hi - lo) * 0.05
+	a := clamp(x0)
+	b := clamp(x0 + step)
+	if a == b {
+		b = clamp(x0 - step)
+	}
+	fa, fb := f(a), f(b)
+	evals, iters := 2, 0
+	for iters < maxIter {
+		iters++
+		if fb < fa { // keep a as the best point
+			a, b = b, a
+			fa, fb = fb, fa
+		}
+		if math.Abs(b-a) < tol {
+			break
+		}
+		// Reflect worst (b) through best (a).
+		r := clamp(a + (a - b))
+		fr := f(r)
+		evals++
+		switch {
+		case fr < fa:
+			// Expansion.
+			e := clamp(a + 2*(a-b))
+			fe := f(e)
+			evals++
+			if fe < fr {
+				b, fb = e, fe
+			} else {
+				b, fb = r, fr
+			}
+		case fr < fb:
+			b, fb = r, fr
+		default:
+			// Contraction toward the best point.
+			c := clamp(a + 0.5*(b-a))
+			fc := f(c)
+			evals++
+			if fc < fb {
+				b, fb = c, fc
+			} else {
+				// Shrink.
+				b = clamp(a + 0.25*(b-a))
+				fb = f(b)
+				evals++
+			}
+		}
+	}
+	if fb < fa {
+		a, fa = b, fb
+	}
+	return Result{X: a, F: fa, Evals: evals, Iters: iters}, nil
+}
+
+// MultiStart runs minimize from `starts` evenly spaced starting points in
+// [lo, hi] and returns the best result found along with the total
+// evaluation count. This is the "run the algorithm multiple times with
+// different initial values" advice from the np package documentation that
+// the paper quotes.
+func MultiStart(f Objective, lo, hi float64, starts int,
+	minimize func(f Objective, x0 float64) (Result, error)) (Result, error) {
+	if lo >= hi {
+		return Result{}, ErrBadBracket
+	}
+	if starts < 1 {
+		starts = 1
+	}
+	best := Result{F: math.Inf(1)}
+	totalEvals, totalIters := 0, 0
+	var firstErr error
+	for s := 0; s < starts; s++ {
+		x0 := lo + (hi-lo)*(float64(s)+0.5)/float64(starts)
+		r, err := minimize(f, x0)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		totalEvals += r.Evals
+		totalIters += r.Iters
+		if r.F < best.F {
+			best.X, best.F = r.X, r.F
+		}
+	}
+	if math.IsInf(best.F, 1) {
+		if firstErr != nil {
+			return Result{}, firstErr
+		}
+		return Result{}, errors.New("optimize: MultiStart found no finite minimum")
+	}
+	best.Evals = totalEvals
+	best.Iters = totalIters
+	return best, nil
+}

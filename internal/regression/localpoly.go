@@ -1,0 +1,124 @@
+package regression
+
+import (
+	"fmt"
+	"math"
+)
+
+// Local polynomial regression of arbitrary degree: the general family the
+// local-constant (degree 0, the paper's estimator) and local-linear
+// (degree 1) estimators belong to. Higher degrees trade variance for
+// lower bias on curved functions; Li & Racine (the paper's methodology
+// reference) treat the whole family.
+
+// MaxLocalPolyDegree bounds the supported polynomial degree; beyond
+// cubic the local design matrices become hopelessly ill-conditioned for
+// the bandwidths this library targets.
+const MaxLocalPolyDegree = 5
+
+// PredictLocalPoly returns the degree-p local polynomial estimate at x0:
+// the intercept of the kernel-weighted least-squares polynomial fitted in
+// (X_l − x0). degree 0 reproduces Predict; degree 1 reproduces
+// PredictLocalLinear. When the local design is singular the degree is
+// reduced until the system solves (ultimately degree 0, the weighted
+// mean). The second return is false when no observation carries weight.
+func (m *Model) PredictLocalPoly(x0 float64, degree int) (float64, bool) {
+	if degree < 0 || degree > MaxLocalPolyDegree {
+		panic(fmt.Sprintf("regression: local polynomial degree %d outside [0, %d]", degree, MaxLocalPolyDegree))
+	}
+	h := m.Bandwidth
+	// Moments S_j = Σ w·dʲ (j ≤ 2·degree) and T_j = Σ w·y·dʲ (j ≤ degree).
+	var s [2*MaxLocalPolyDegree + 1]float64
+	var t [MaxLocalPolyDegree + 1]float64
+	any := false
+	for l, xl := range m.X {
+		w := m.Kernel.Weight((x0 - xl) / h)
+		if w == 0 {
+			continue
+		}
+		any = true
+		d := xl - x0
+		dj := 1.0
+		for j := 0; j <= 2*degree; j++ {
+			s[j] += w * dj
+			if j <= degree {
+				t[j] += w * m.Y[l] * dj
+			}
+			dj *= d
+		}
+	}
+	if !any || s[0] <= 0 {
+		return math.NaN(), false
+	}
+	for p := degree; p >= 1; p-- {
+		if beta0, ok := solveNormal(s[:2*p+1], t[:p+1]); ok {
+			return beta0, true
+		}
+	}
+	return t[0] / s[0], true
+}
+
+// solveNormal solves the (p+1)×(p+1) normal equations A·β = b with
+// A[i][j] = S_{i+j}, b[i] = T_i, returning β₀. It reports ok=false when
+// the system is numerically singular (relative pivot threshold).
+func solveNormal(s []float64, t []float64) (float64, bool) {
+	p1 := len(t)
+	// Build the augmented matrix.
+	a := make([][]float64, p1)
+	for i := range a {
+		a[i] = make([]float64, p1+1)
+		for j := 0; j < p1; j++ {
+			a[i][j] = s[i+j]
+		}
+		a[i][p1] = t[i]
+	}
+	// Scale rows to unit max for a meaningful pivot threshold.
+	for i := range a {
+		maxAbs := 0.0
+		for j := 0; j < p1; j++ {
+			if v := math.Abs(a[i][j]); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if maxAbs == 0 {
+			return 0, false
+		}
+		for j := range a[i] {
+			a[i][j] /= maxAbs
+		}
+	}
+	// Gaussian elimination with partial pivoting.
+	for col := 0; col < p1; col++ {
+		piv := col
+		for r := col + 1; r < p1; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(a[piv][col]) < 1e-10 {
+			return 0, false
+		}
+		a[col], a[piv] = a[piv], a[col]
+		for r := col + 1; r < p1; r++ {
+			f := a[r][col] / a[col][col]
+			for j := col; j <= p1; j++ {
+				a[r][j] -= f * a[col][j]
+			}
+		}
+	}
+	// Back substitution.
+	beta := make([]float64, p1)
+	for i := p1 - 1; i >= 0; i-- {
+		v := a[i][p1]
+		for j := i + 1; j < p1; j++ {
+			v -= a[i][j] * beta[j]
+		}
+		beta[i] = v / a[i][i]
+	}
+	for _, b := range beta {
+		if math.IsNaN(b) || math.IsInf(b, 0) {
+			return 0, false
+		}
+	}
+	return beta[0], true
+}

@@ -1,0 +1,150 @@
+package regression
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+func polyData(coefs []float64, n int, noise float64, seed int64) ([]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		v := 0.0
+		xp := 1.0
+		for _, c := range coefs {
+			v += c * xp
+			xp *= x[i]
+		}
+		y[i] = v + noise*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestLocalPolyDegreeZeroEqualsPredict(t *testing.T) {
+	x, y := polyData([]float64{1, 2, -3}, 80, 0.1, 1)
+	m := mustModel(t, x, y, 0.2, kernel.Epanechnikov)
+	for _, x0 := range []float64{0.1, 0.5, 0.9} {
+		a, okA := m.Predict(x0)
+		b, okB := m.PredictLocalPoly(x0, 0)
+		if okA != okB || math.Abs(a-b) > 1e-12 {
+			t.Errorf("degree 0 at %v: %v vs Predict %v", x0, b, a)
+		}
+	}
+}
+
+func TestLocalPolyDegreeOneEqualsLocalLinear(t *testing.T) {
+	x, y := polyData([]float64{0.5, 1, 2}, 100, 0.05, 2)
+	m := mustModel(t, x, y, 0.15, kernel.Epanechnikov)
+	for _, x0 := range []float64{0.2, 0.5, 0.8} {
+		a, okA := m.PredictLocalLinear(x0)
+		b, okB := m.PredictLocalPoly(x0, 1)
+		if okA != okB || math.Abs(a-b) > 1e-9 {
+			t.Errorf("degree 1 at %v: %v vs PredictLocalLinear %v", x0, b, a)
+		}
+	}
+}
+
+func TestLocalPolyExactOnPolynomials(t *testing.T) {
+	// A degree-p local polynomial fit reproduces a global polynomial of
+	// degree ≤ p exactly (no noise), including at the boundary.
+	cases := []struct {
+		degree int
+		coefs  []float64
+	}{
+		{1, []float64{2, -1}},
+		{2, []float64{1, 0, 3}},
+		{3, []float64{0.5, 1, -2, 4}},
+	}
+	for _, c := range cases {
+		x, y := polyData(c.coefs, 120, 0, int64(c.degree))
+		m := mustModel(t, x, y, 0.25, kernel.Epanechnikov)
+		for _, x0 := range []float64{0, 0.3, 0.77, 1} {
+			got, ok := m.PredictLocalPoly(x0, c.degree)
+			want := 0.0
+			xp := 1.0
+			for _, cf := range c.coefs {
+				want += cf * xp
+				xp *= x0
+			}
+			if !ok || math.Abs(got-want) > 1e-7 {
+				t.Errorf("degree %d at %v: %v, want %v", c.degree, x0, got, want)
+			}
+		}
+	}
+}
+
+func TestLocalPolyBiasOrdering(t *testing.T) {
+	// On a strongly curved function with a wide bandwidth, higher degree
+	// should reduce interior bias.
+	n := 400
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = math.Sin(3 * x[i] * math.Pi / 2)
+	}
+	m := mustModel(t, x, y, 0.3, kernel.Epanechnikov)
+	x0 := 0.5
+	truth := math.Sin(3 * x0 * math.Pi / 2)
+	e0, _ := m.PredictLocalPoly(x0, 0)
+	e2, _ := m.PredictLocalPoly(x0, 2)
+	if math.Abs(e2-truth) > math.Abs(e0-truth)+1e-9 {
+		t.Errorf("degree 2 bias (%v) should not exceed degree 0 bias (%v)",
+			math.Abs(e2-truth), math.Abs(e0-truth))
+	}
+}
+
+func TestLocalPolySingularFallback(t *testing.T) {
+	// All weight on one x value: every degree must fall back to the
+	// weighted mean rather than fail.
+	x := []float64{0.5, 0.5, 0.5}
+	y := []float64{1, 2, 3}
+	m := mustModel(t, x, y, 0.2, kernel.Epanechnikov)
+	for degree := 0; degree <= 3; degree++ {
+		got, ok := m.PredictLocalPoly(0.5, degree)
+		if !ok || math.Abs(got-2) > 1e-9 {
+			t.Errorf("degree %d singular fallback = %v, %v", degree, got, ok)
+		}
+	}
+	// Two distinct x values: degree 3 is unidentified, must degrade
+	// gracefully to a solvable degree.
+	x2 := []float64{0.4, 0.6, 0.4, 0.6}
+	y2 := []float64{1, 2, 1, 2}
+	m2 := mustModel(t, x2, y2, 0.5, kernel.Epanechnikov)
+	got, ok := m2.PredictLocalPoly(0.5, 3)
+	if !ok || math.IsNaN(got) {
+		t.Errorf("two-point degree-3 fit = %v, %v", got, ok)
+	}
+	if math.Abs(got-1.5) > 1e-6 {
+		t.Errorf("two-point fit at midpoint = %v, want 1.5", got)
+	}
+}
+
+func TestLocalPolyNoWeight(t *testing.T) {
+	x := []float64{0, 1}
+	y := []float64{1, 2}
+	m := mustModel(t, x, y, 0.1, kernel.Epanechnikov)
+	if _, ok := m.PredictLocalPoly(0.5, 2); ok {
+		t.Error("no-weight point should report ok=false")
+	}
+}
+
+func TestLocalPolyDegreeBounds(t *testing.T) {
+	x, y := polyData([]float64{1}, 10, 0, 9)
+	m := mustModel(t, x, y, 0.5, kernel.Epanechnikov)
+	for _, bad := range []int{-1, MaxLocalPolyDegree + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("degree %d should panic", bad)
+				}
+			}()
+			m.PredictLocalPoly(0.5, bad)
+		}()
+	}
+}

@@ -1,0 +1,300 @@
+package regression
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/kernel"
+)
+
+func mustModel(t *testing.T, x, y []float64, h float64, k kernel.Kind) *Model {
+	t.Helper()
+	m, err := New(x, y, h, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]float64{1, 2}, []float64{1}, 0.5, kernel.Epanechnikov); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := New([]float64{1}, []float64{1}, 0.5, kernel.Epanechnikov); err == nil {
+		t.Error("single observation should fail")
+	}
+	if _, err := New([]float64{1, 2}, []float64{1, 2}, 0, kernel.Epanechnikov); err != ErrBandwidth {
+		t.Error("zero bandwidth should fail with ErrBandwidth")
+	}
+	if _, err := New([]float64{1, 2}, []float64{1, 2}, math.NaN(), kernel.Epanechnikov); err != ErrBandwidth {
+		t.Error("NaN bandwidth should fail")
+	}
+}
+
+func TestPredictConstantY(t *testing.T) {
+	// With constant Y the weighted mean is exactly that constant
+	// wherever the denominator is positive.
+	x := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+	y := []float64{3, 3, 3, 3, 3}
+	m := mustModel(t, x, y, 0.2, kernel.Epanechnikov)
+	for _, x0 := range []float64{0.1, 0.25, 0.5} {
+		got, ok := m.Predict(x0)
+		if !ok || math.Abs(got-3) > 1e-12 {
+			t.Errorf("Predict(%v) = %v, %v", x0, got, ok)
+		}
+	}
+}
+
+func TestPredictEmptyNeighbourhood(t *testing.T) {
+	x := []float64{0, 1}
+	y := []float64{0, 1}
+	m := mustModel(t, x, y, 0.1, kernel.Epanechnikov)
+	got, ok := m.Predict(0.5)
+	if ok || !math.IsNaN(got) {
+		t.Errorf("prediction in an empty neighbourhood should be (NaN, false), got (%v, %v)", got, ok)
+	}
+}
+
+func TestPredictManual(t *testing.T) {
+	// Hand-calculated Nadaraya–Watson value at x0 = 0 with h = 1:
+	// weights K(0)=0.75, K(0.5)=0.5625, K(1)=0.
+	x := []float64{0, 0.5, 1}
+	y := []float64{1, 2, 100}
+	m := mustModel(t, x, y, 1, kernel.Epanechnikov)
+	got, ok := m.Predict(0)
+	want := (0.75*1 + 0.5625*2) / (0.75 + 0.5625)
+	if !ok || math.Abs(got-want) > 1e-12 {
+		t.Errorf("Predict(0) = %v, want %v", got, want)
+	}
+}
+
+func TestPredictGrid(t *testing.T) {
+	d := data.GeneratePaper(200, 1)
+	m := mustModel(t, d.X, d.Y, 0.1, kernel.Epanechnikov)
+	xs := []float64{0.2, 0.5, 0.8}
+	got := m.PredictGrid(xs)
+	for i, x0 := range xs {
+		want, _ := m.Predict(x0)
+		if got[i] != want {
+			t.Errorf("grid[%d] = %v, want %v", i, got[i], want)
+		}
+	}
+}
+
+func TestConsistencyOnPaperDGP(t *testing.T) {
+	// With plenty of data and a reasonable bandwidth, the NW estimate
+	// should track the true conditional mean.
+	d := data.GeneratePaper(4000, 9)
+	m := mustModel(t, d.X, d.Y, 0.05, kernel.Epanechnikov)
+	for _, x0 := range []float64{0.2, 0.4, 0.6, 0.8} {
+		got, ok := m.Predict(x0)
+		want := data.Paper.TrueMean(x0)
+		if !ok || math.Abs(got-want) > 0.1 {
+			t.Errorf("ĝ(%v) = %v, want ≈ %v", x0, got, want)
+		}
+	}
+}
+
+func TestLeaveOneOutExcludesSelf(t *testing.T) {
+	// Three points where the middle's LOO estimate must be the weighted
+	// mean of only its neighbours.
+	x := []float64{0, 0.5, 1}
+	y := []float64{1, 50, 3}
+	m := mustModel(t, x, y, 1, kernel.Epanechnikov)
+	ghat, ok := m.LeaveOneOut()
+	if !ok[1] {
+		t.Fatal("middle observation should have neighbours")
+	}
+	w := kernel.Epanechnikov.Weight(0.5) // both neighbours at distance 0.5
+	want := (w*1 + w*3) / (2 * w)
+	if math.Abs(ghat[1]-want) > 1e-12 {
+		t.Errorf("LOO(1) = %v, want %v (self must be excluded)", ghat[1], want)
+	}
+}
+
+func TestLeaveOneOutIsolatedPoint(t *testing.T) {
+	x := []float64{0, 0.01, 5}
+	y := []float64{1, 2, 3}
+	m := mustModel(t, x, y, 0.1, kernel.Epanechnikov)
+	ghat, ok := m.LeaveOneOut()
+	if ok[2] || !math.IsNaN(ghat[2]) {
+		t.Error("isolated observation should have M = 0 and NaN estimate")
+	}
+	if !ok[0] || !ok[1] {
+		t.Error("paired observations should have valid LOO estimates")
+	}
+}
+
+func TestCVScoreMatchesDefinition(t *testing.T) {
+	d := data.GeneratePaper(150, 4)
+	m := mustModel(t, d.X, d.Y, 0.08, kernel.Epanechnikov)
+	ghat, ok := m.LeaveOneOut()
+	var want float64
+	for i := range ghat {
+		if ok[i] {
+			r := d.Y[i] - ghat[i]
+			want += r * r
+		}
+	}
+	want /= float64(len(d.X))
+	if got := m.CVScore(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CVScore = %v, want %v", got, want)
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	d := data.GeneratePaper(100, 6)
+	m := mustModel(t, d.X, d.Y, 0.2, kernel.Epanechnikov)
+	res := m.Residuals()
+	for i, r := range res {
+		fit, ok := m.Predict(d.X[i])
+		if !ok {
+			if !math.IsNaN(r) {
+				t.Errorf("residual %d should be NaN", i)
+			}
+			continue
+		}
+		if math.Abs(r-(d.Y[i]-fit)) > 1e-12 {
+			t.Errorf("residual %d = %v", i, r)
+		}
+	}
+}
+
+func TestLocalLinearExactOnLine(t *testing.T) {
+	// A local-linear fit reproduces a straight line exactly, including
+	// at the boundary — which the local-constant estimator cannot.
+	n := 50
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = 2 + 3*x[i]
+	}
+	m := mustModel(t, x, y, 0.3, kernel.Epanechnikov)
+	for _, x0 := range []float64{0, 0.25, 0.5, 1} {
+		got, ok := m.PredictLocalLinear(x0)
+		want := 2 + 3*x0
+		if !ok || math.Abs(got-want) > 1e-9 {
+			t.Errorf("local linear at %v = %v, want %v", x0, got, want)
+		}
+		// Local constant is biased at the boundary.
+		lc, _ := m.Predict(0.0)
+		if math.Abs(lc-2) < 1e-9 && x0 == 0 {
+			t.Log("local constant unexpectedly exact at boundary")
+		}
+	}
+}
+
+func TestLocalLinearDegenerateDesign(t *testing.T) {
+	// All mass at a single x: slope unidentifiable, falls back to the
+	// weighted mean.
+	x := []float64{0.5, 0.5, 0.5}
+	y := []float64{1, 2, 3}
+	m := mustModel(t, x, y, 0.2, kernel.Epanechnikov)
+	got, ok := m.PredictLocalLinear(0.5)
+	if !ok || math.Abs(got-2) > 1e-12 {
+		t.Errorf("degenerate local linear = %v, %v, want 2", got, ok)
+	}
+	// Far away: no weight at all.
+	if _, ok := m.PredictLocalLinear(5); ok {
+		t.Error("no-weight local linear should report ok=false")
+	}
+}
+
+func TestConfidenceBand(t *testing.T) {
+	d := data.GeneratePaper(800, 12)
+	m := mustModel(t, d.X, d.Y, 0.08, kernel.Epanechnikov)
+	xs := []float64{0.2, 0.4, 0.6, 0.8}
+	b, err := m.ConfidenceBand(xs, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xs {
+		if !(b.Lower[i] < b.Fit[i] && b.Fit[i] < b.Upper[i]) {
+			t.Errorf("band ordering violated at %v: [%v, %v, %v]", xs[i], b.Lower[i], b.Fit[i], b.Upper[i])
+		}
+		// The band half-width should be modest with n = 800.
+		if b.Upper[i]-b.Lower[i] > 1.0 {
+			t.Errorf("band too wide at %v: %v", xs[i], b.Upper[i]-b.Lower[i])
+		}
+	}
+	if _, err := m.ConfidenceBand(xs, 0); err == nil {
+		t.Error("non-positive critical value should fail")
+	}
+}
+
+func TestConfidenceBandEmptyNeighbourhood(t *testing.T) {
+	x := []float64{0, 1}
+	y := []float64{0, 1}
+	m := mustModel(t, x, y, 0.05, kernel.Epanechnikov)
+	b, err := m.ConfidenceBand([]float64{0.5}, 1.96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(b.Fit[0]) {
+		t.Error("empty neighbourhood should give NaN band")
+	}
+}
+
+func TestEffectiveN(t *testing.T) {
+	d := data.GeneratePaper(1000, 2)
+	m1 := mustModel(t, d.X, d.Y, 0.02, kernel.Epanechnikov)
+	m2 := mustModel(t, d.X, d.Y, 0.3, kernel.Epanechnikov)
+	e1 := m1.EffectiveN(0.5)
+	e2 := m2.EffectiveN(0.5)
+	if !(e1 < e2) {
+		t.Errorf("effective n should grow with bandwidth: %v vs %v", e1, e2)
+	}
+	if e2 > float64(len(d.X)) {
+		t.Errorf("effective n cannot exceed n: %v", e2)
+	}
+	if m1.EffectiveN(50) != 0 {
+		t.Error("no-weight point should have effective n 0")
+	}
+}
+
+func TestGaussianKernelNeverEmpty(t *testing.T) {
+	x := []float64{0, 10}
+	y := []float64{1, 2}
+	m := mustModel(t, x, y, 0.5, kernel.Gaussian)
+	if _, ok := m.Predict(5); !ok {
+		t.Error("gaussian kernel should always have positive denominator")
+	}
+}
+
+func TestDerivative(t *testing.T) {
+	// Exact on a line, approximate on a curve.
+	n := 200
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = 1 + 4*x[i]
+	}
+	m := mustModel(t, x, y, 0.2, kernel.Epanechnikov)
+	for _, x0 := range []float64{0.2, 0.5, 0.8} {
+		got, ok := m.Derivative(x0)
+		if !ok || math.Abs(got-4) > 1e-9 {
+			t.Errorf("slope at %v = %v, want 4", x0, got)
+		}
+	}
+	// Quadratic: slope 20x + 0.5 on the paper DGP's mean function.
+	d := data.GeneratePaper(4000, 3)
+	mq := mustModel(t, d.X, d.Y, 0.05, kernel.Epanechnikov)
+	for _, x0 := range []float64{0.3, 0.6} {
+		got, ok := mq.Derivative(x0)
+		want := 0.5 + 20*x0
+		if !ok || math.Abs(got-want) > 1.5 {
+			t.Errorf("paper-DGP slope at %v = %v, want ≈ %v", x0, got, want)
+		}
+	}
+	// Unidentified slope.
+	flat := mustModel(t, []float64{0.5, 0.5, 0.5}, []float64{1, 2, 3}, 0.1, kernel.Epanechnikov)
+	if _, ok := flat.Derivative(0.5); ok {
+		t.Error("degenerate design should not identify a slope")
+	}
+	if _, ok := m.Derivative(10); ok {
+		t.Error("no-weight point should not identify a slope")
+	}
+}

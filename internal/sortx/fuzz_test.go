@@ -1,0 +1,76 @@
+package sortx
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// Fuzz targets: the seed corpus runs on every `go test`; `go test -fuzz`
+// explores further. Inputs are byte strings decoded into float32 keys.
+
+func decodeFloats(data []byte) []float32 {
+	n := len(data) / 4
+	out := make([]float32, 0, n)
+	for i := 0; i < n; i++ {
+		bits := binary.LittleEndian.Uint32(data[i*4:])
+		f := math.Float32frombits(bits)
+		if f != f { // NaN keys make "sorted" undefined; exclude
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+func FuzzQuickSort32(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4})
+	f.Add([]byte{0, 0, 128, 63, 0, 0, 128, 191}) // 1.0, -1.0
+	seed := make([]byte, 4*100)
+	for i := range seed {
+		seed[i] = byte(i * 37)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		keys := decodeFloats(data)
+		payload := make([]float32, len(keys))
+		sum := float64(0)
+		for i, k := range keys {
+			payload[i] = k
+			sum += float64(k)
+		}
+		QuickSort32(keys, payload)
+		if !IsSorted32(keys) {
+			t.Fatal("not sorted")
+		}
+		var sum2 float64
+		for i := range keys {
+			if payload[i] != keys[i] {
+				t.Fatal("payload decoupled")
+			}
+			sum2 += float64(keys[i])
+		}
+		// Multiset preserved (cheap proxy: the sum, exact for the same
+		// float values in any order under float64 accumulation... allow
+		// reordering tolerance).
+		if !(math.Abs(sum-sum2) <= 1e-6*(1+math.Abs(sum))) && !math.IsInf(sum, 0) {
+			t.Fatalf("element sum changed: %v vs %v", sum, sum2)
+		}
+	})
+}
+
+func FuzzIntroSort64(f *testing.F) {
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fs := decodeFloats(data)
+		keys := make([]float64, len(fs))
+		for i, v := range fs {
+			keys[i] = float64(v)
+		}
+		IntroSort64(keys, nil)
+		if !IsSorted64(keys) {
+			t.Fatal("not sorted")
+		}
+	})
+}

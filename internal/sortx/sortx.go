@@ -1,0 +1,418 @@
+// Package sortx implements the sorting machinery the paper's fast grid
+// search depends on. The centrepiece is an iterative (explicit-stack,
+// non-recursive) QuickSort that co-sorts a payload array with the keys —
+// the Finley variant the paper adapts for its CUDA device code, where
+// recursion is unavailable on early compute capabilities. Host-side helpers
+// (argsort, insertion sort, heapsort, an introsort that bounds QuickSort's
+// worst case) round out the package.
+//
+// All routines sort ascending and are deliberately not stable: the device
+// algorithm does not require stability, only that keys and payloads move
+// together.
+package sortx
+
+// maxStack is the explicit-stack depth for the iterative QuickSorts. Each
+// partition pushes at most one side, and the smaller side is always
+// processed first, so depth is bounded by log2(n); 64 covers any slice that
+// fits in memory.
+const maxStack = 64
+
+// insertionCutoff is the partition size below which the QuickSorts switch
+// to insertion sort.
+const insertionCutoff = 12
+
+// QuickSort32 sorts keys ascending and applies the identical permutation to
+// payload, using an iterative QuickSort with an explicit stack. It mirrors
+// the device sort in the paper: single precision keys, one auxiliary array,
+// no recursion. payload may be nil; otherwise len(payload) must equal
+// len(keys).
+func QuickSort32(keys, payload []float32) {
+	if payload != nil && len(payload) != len(keys) {
+		panic("sortx: QuickSort32 payload length mismatch")
+	}
+	if len(keys) < 2 {
+		return
+	}
+	var stack [maxStack][2]int
+	top := 0
+	stack[top] = [2]int{0, len(keys) - 1}
+	top++
+	for top > 0 {
+		top--
+		lo, hi := stack[top][0], stack[top][1]
+		for hi-lo >= insertionCutoff {
+			p := partition32(keys, payload, lo, hi)
+			// Push the larger side, iterate on the smaller to bound
+			// the stack at log2(n).
+			if p-lo < hi-p {
+				stack[top] = [2]int{p + 1, hi}
+				top++
+				hi = p - 1
+			} else {
+				stack[top] = [2]int{lo, p - 1}
+				top++
+				lo = p + 1
+			}
+		}
+		insertion32(keys, payload, lo, hi)
+	}
+}
+
+// partition32 partitions keys[lo..hi] around a median-of-three pivot and
+// returns the pivot's final index.
+func partition32(keys, payload []float32, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	// Median-of-three: order lo, mid, hi.
+	if keys[mid] < keys[lo] {
+		swap32(keys, payload, mid, lo)
+	}
+	if keys[hi] < keys[lo] {
+		swap32(keys, payload, hi, lo)
+	}
+	if keys[hi] < keys[mid] {
+		swap32(keys, payload, hi, mid)
+	}
+	// Pivot at hi-1 (keys[hi] is already >= pivot).
+	swap32(keys, payload, mid, hi-1)
+	pivot := keys[hi-1]
+	i, j := lo, hi-1
+	for {
+		for i++; keys[i] < pivot; i++ {
+		}
+		for j--; keys[j] > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		swap32(keys, payload, i, j)
+	}
+	swap32(keys, payload, i, hi-1)
+	return i
+}
+
+func swap32(keys, payload []float32, i, j int) {
+	keys[i], keys[j] = keys[j], keys[i]
+	if payload != nil {
+		payload[i], payload[j] = payload[j], payload[i]
+	}
+}
+
+// insertion32 insertion-sorts keys[lo..hi] with its payload.
+func insertion32(keys, payload []float32, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		k := keys[i]
+		var p float32
+		if payload != nil {
+			p = payload[i]
+		}
+		j := i - 1
+		for j >= lo && keys[j] > k {
+			keys[j+1] = keys[j]
+			if payload != nil {
+				payload[j+1] = payload[j]
+			}
+			j--
+		}
+		keys[j+1] = k
+		if payload != nil {
+			payload[j+1] = p
+		}
+	}
+}
+
+// QuickSort64 is the float64 variant of QuickSort32, used by the host-side
+// (double precision) sorted grid search.
+func QuickSort64(keys, payload []float64) {
+	if payload != nil && len(payload) != len(keys) {
+		panic("sortx: QuickSort64 payload length mismatch")
+	}
+	if len(keys) < 2 {
+		return
+	}
+	var stack [maxStack][2]int
+	top := 0
+	stack[top] = [2]int{0, len(keys) - 1}
+	top++
+	for top > 0 {
+		top--
+		lo, hi := stack[top][0], stack[top][1]
+		for hi-lo >= insertionCutoff {
+			p := partition64(keys, payload, lo, hi)
+			if p-lo < hi-p {
+				stack[top] = [2]int{p + 1, hi}
+				top++
+				hi = p - 1
+			} else {
+				stack[top] = [2]int{lo, p - 1}
+				top++
+				lo = p + 1
+			}
+		}
+		insertion64(keys, payload, lo, hi)
+	}
+}
+
+func partition64(keys, payload []float64, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if keys[mid] < keys[lo] {
+		swap64(keys, payload, mid, lo)
+	}
+	if keys[hi] < keys[lo] {
+		swap64(keys, payload, hi, lo)
+	}
+	if keys[hi] < keys[mid] {
+		swap64(keys, payload, hi, mid)
+	}
+	swap64(keys, payload, mid, hi-1)
+	pivot := keys[hi-1]
+	i, j := lo, hi-1
+	for {
+		for i++; keys[i] < pivot; i++ {
+		}
+		for j--; keys[j] > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		swap64(keys, payload, i, j)
+	}
+	swap64(keys, payload, i, hi-1)
+	return i
+}
+
+func swap64(keys, payload []float64, i, j int) {
+	keys[i], keys[j] = keys[j], keys[i]
+	if payload != nil {
+		payload[i], payload[j] = payload[j], payload[i]
+	}
+}
+
+func insertion64(keys, payload []float64, lo, hi int) {
+	for i := lo + 1; i <= hi; i++ {
+		k := keys[i]
+		var p float64
+		if payload != nil {
+			p = payload[i]
+		}
+		j := i - 1
+		for j >= lo && keys[j] > k {
+			keys[j+1] = keys[j]
+			if payload != nil {
+				payload[j+1] = payload[j]
+			}
+			j--
+		}
+		keys[j+1] = k
+		if payload != nil {
+			payload[j+1] = p
+		}
+	}
+}
+
+// RecursiveQuickSort32 is the textbook recursive QuickSort the paper
+// replaces with the iterative version; it exists as the ablation baseline
+// for DESIGN.md decision 3 (recursion depth and call overhead accounting).
+// depthOut, if non-nil, receives the maximum recursion depth reached.
+func RecursiveQuickSort32(keys, payload []float32, depthOut *int) {
+	if payload != nil && len(payload) != len(keys) {
+		panic("sortx: RecursiveQuickSort32 payload length mismatch")
+	}
+	if len(keys) < 2 {
+		return
+	}
+	d := recursive32(keys, payload, 0, len(keys)-1, 1)
+	if depthOut != nil {
+		*depthOut = d
+	}
+}
+
+func recursive32(keys, payload []float32, lo, hi, depth int) int {
+	if hi-lo < insertionCutoff {
+		insertion32(keys, payload, lo, hi)
+		return depth
+	}
+	p := partition32(keys, payload, lo, hi)
+	dl := recursive32(keys, payload, lo, p-1, depth+1)
+	dr := recursive32(keys, payload, p+1, hi, depth+1)
+	if dl > dr {
+		return dl
+	}
+	return dr
+}
+
+// HeapSort64 sorts keys ascending with payload co-sorted, in guaranteed
+// O(n log n); it is the fallback IntroSort64 switches to when QuickSort's
+// partitioning degenerates.
+func HeapSort64(keys, payload []float64) {
+	n := len(keys)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown64(keys, payload, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		swap64(keys, payload, 0, end)
+		siftDown64(keys, payload, 0, end)
+	}
+}
+
+func siftDown64(keys, payload []float64, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && keys[child+1] > keys[child] {
+			child++
+		}
+		if keys[root] >= keys[child] {
+			return
+		}
+		swap64(keys, payload, root, child)
+		root = child
+	}
+}
+
+// IntroSort64 sorts keys ascending with payload co-sorted, starting as
+// QuickSort and falling back to heapsort when depth exceeds 2*log2(n),
+// giving a strict O(n log n) bound even on adversarial inputs.
+func IntroSort64(keys, payload []float64) {
+	if payload != nil && len(payload) != len(keys) {
+		panic("sortx: IntroSort64 payload length mismatch")
+	}
+	n := len(keys)
+	if n < 2 {
+		return
+	}
+	limit := 2 * ilog2(n)
+	intro64(keys, payload, 0, n-1, limit)
+}
+
+func intro64(keys, payload []float64, lo, hi, limit int) {
+	for hi-lo >= insertionCutoff {
+		if limit == 0 {
+			HeapSort64(keys[lo:hi+1], payloadSlice(payload, lo, hi))
+			return
+		}
+		limit--
+		p := partition64(keys, payload, lo, hi)
+		if p-lo < hi-p {
+			intro64(keys, payload, lo, p-1, limit)
+			lo = p + 1
+		} else {
+			intro64(keys, payload, p+1, hi, limit)
+			hi = p - 1
+		}
+	}
+	insertion64(keys, payload, lo, hi)
+}
+
+func payloadSlice(payload []float64, lo, hi int) []float64 {
+	if payload == nil {
+		return nil
+	}
+	return payload[lo : hi+1]
+}
+
+func ilog2(n int) int {
+	l := 0
+	for n > 1 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+// ArgSort64 returns a permutation idx such that keys[idx[0]] <=
+// keys[idx[1]] <= ... without modifying keys. Used by the host sorted grid
+// search, which needs the neighbour order but must keep the original
+// arrays intact across observations.
+func ArgSort64(keys []float64) []int {
+	idx := make([]int, len(keys))
+	for i := range idx {
+		idx[i] = i
+	}
+	argQuick64(keys, idx, 0, len(idx)-1)
+	return idx
+}
+
+func argQuick64(keys []float64, idx []int, lo, hi int) {
+	var stack [maxStack][2]int
+	top := 0
+	if lo >= hi {
+		return
+	}
+	stack[top] = [2]int{lo, hi}
+	top++
+	for top > 0 {
+		top--
+		l, h := stack[top][0], stack[top][1]
+		for h-l >= insertionCutoff {
+			p := argPartition64(keys, idx, l, h)
+			if p-l < h-p {
+				stack[top] = [2]int{p + 1, h}
+				top++
+				h = p - 1
+			} else {
+				stack[top] = [2]int{l, p - 1}
+				top++
+				l = p + 1
+			}
+		}
+		for i := l + 1; i <= h; i++ {
+			v := idx[i]
+			j := i - 1
+			for j >= l && keys[idx[j]] > keys[v] {
+				idx[j+1] = idx[j]
+				j--
+			}
+			idx[j+1] = v
+		}
+	}
+}
+
+func argPartition64(keys []float64, idx []int, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if keys[idx[mid]] < keys[idx[lo]] {
+		idx[mid], idx[lo] = idx[lo], idx[mid]
+	}
+	if keys[idx[hi]] < keys[idx[lo]] {
+		idx[hi], idx[lo] = idx[lo], idx[hi]
+	}
+	if keys[idx[hi]] < keys[idx[mid]] {
+		idx[hi], idx[mid] = idx[mid], idx[hi]
+	}
+	idx[mid], idx[hi-1] = idx[hi-1], idx[mid]
+	pivot := keys[idx[hi-1]]
+	i, j := lo, hi-1
+	for {
+		for i++; keys[idx[i]] < pivot; i++ {
+		}
+		for j--; keys[idx[j]] > pivot; j-- {
+		}
+		if i >= j {
+			break
+		}
+		idx[i], idx[j] = idx[j], idx[i]
+	}
+	idx[i], idx[hi-1] = idx[hi-1], idx[i]
+	return i
+}
+
+// IsSorted32 reports whether keys is in ascending order.
+func IsSorted32(keys []float32) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// IsSorted64 reports whether keys is in ascending order.
+func IsSorted64(keys []float64) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,327 @@
+package sortx
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// checkPermutation verifies that after is a permutation of before by
+// comparing sorted copies.
+func checkPermutation(t *testing.T, before, after []float64) {
+	t.Helper()
+	a := append([]float64(nil), before...)
+	b := append([]float64(nil), after...)
+	sort.Float64s(a)
+	sort.Float64s(b)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("result is not a permutation of the input")
+		}
+	}
+}
+
+func randomFloats32(rng *rand.Rand, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = float32(rng.NormFloat64())
+	}
+	return out
+}
+
+func TestQuickSort32Basic(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 12, 13, 100, 1000} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		keys := randomFloats32(rng, n)
+		orig := append([]float32(nil), keys...)
+		QuickSort32(keys, nil)
+		if !IsSorted32(keys) {
+			t.Fatalf("n=%d: not sorted", n)
+		}
+		b64 := make([]float64, n)
+		a64 := make([]float64, n)
+		for i := range orig {
+			b64[i], a64[i] = float64(orig[i]), float64(keys[i])
+		}
+		checkPermutation(t, b64, a64)
+	}
+}
+
+func TestQuickSort32PayloadFollowsKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		keys := randomFloats32(rng, n)
+		// Payload encodes the original key so the pairing is checkable
+		// even after duplicate keys move around.
+		payload := make([]float32, n)
+		for i := range payload {
+			payload[i] = keys[i] * 3
+		}
+		QuickSort32(keys, payload)
+		if !IsSorted32(keys) {
+			t.Fatal("not sorted")
+		}
+		for i := range keys {
+			if payload[i] != keys[i]*3 {
+				t.Fatalf("payload decoupled from key at %d: key %v payload %v", i, keys[i], payload[i])
+			}
+		}
+	}
+}
+
+func TestQuickSort32PayloadMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	QuickSort32(make([]float32, 3), make([]float32, 2))
+}
+
+func TestQuickSort32AdversarialPatterns(t *testing.T) {
+	patterns := map[string]func(n int) []float32{
+		"sorted": func(n int) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = float32(i)
+			}
+			return out
+		},
+		"reverse": func(n int) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = float32(n - i)
+			}
+			return out
+		},
+		"constant": func(n int) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = 7
+			}
+			return out
+		},
+		"organ-pipe": func(n int) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				if i < n/2 {
+					out[i] = float32(i)
+				} else {
+					out[i] = float32(n - i)
+				}
+			}
+			return out
+		},
+		"two-values": func(n int) []float32 {
+			out := make([]float32, n)
+			for i := range out {
+				out[i] = float32(i % 2)
+			}
+			return out
+		},
+	}
+	for name, gen := range patterns {
+		for _, n := range []int{10, 100, 4096} {
+			keys := gen(n)
+			QuickSort32(keys, nil)
+			if !IsSorted32(keys) {
+				t.Errorf("%s n=%d: not sorted", name, n)
+			}
+		}
+	}
+}
+
+func TestQuickSort64Property(t *testing.T) {
+	f := func(raw []float64) bool {
+		keys := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				keys = append(keys, v)
+			}
+		}
+		orig := append([]float64(nil), keys...)
+		payload := append([]float64(nil), keys...)
+		QuickSort64(keys, payload)
+		if !IsSorted64(keys) {
+			return false
+		}
+		for i := range keys {
+			if payload[i] != keys[i] {
+				return false
+			}
+		}
+		sort.Float64s(orig)
+		for i := range orig {
+			if orig[i] != keys[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecursiveMatchesIterative(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(500)
+		keys := randomFloats32(rng, n)
+		it := append([]float32(nil), keys...)
+		rec := append([]float32(nil), keys...)
+		pIt := append([]float32(nil), keys...)
+		pRec := append([]float32(nil), keys...)
+		QuickSort32(it, pIt)
+		var depth int
+		RecursiveQuickSort32(rec, pRec, &depth)
+		for i := range it {
+			if it[i] != rec[i] {
+				t.Fatalf("iterative and recursive sorts disagree at %d", i)
+			}
+		}
+		if n >= 16 && depth < 1 {
+			t.Errorf("recursion depth not recorded (n=%d)", n)
+		}
+		// Depth should be well short of n for random inputs.
+		if depth > n {
+			t.Errorf("depth %d exceeds n=%d", depth, n)
+		}
+	}
+}
+
+func TestHeapSort64(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	keys := make([]float64, 777)
+	payload := make([]float64, 777)
+	for i := range keys {
+		keys[i] = rng.NormFloat64()
+		payload[i] = keys[i] * 2
+	}
+	HeapSort64(keys, payload)
+	if !IsSorted64(keys) {
+		t.Fatal("heapsort failed")
+	}
+	for i := range keys {
+		if payload[i] != keys[i]*2 {
+			t.Fatal("heapsort payload decoupled")
+		}
+	}
+}
+
+func TestIntroSort64WorstCase(t *testing.T) {
+	// A killer pattern for plain quicksort: already sorted with many
+	// duplicates; introsort must still finish and sort correctly.
+	n := 1 << 14
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = float64(i % 17)
+	}
+	IntroSort64(keys, nil)
+	if !IsSorted64(keys) {
+		t.Fatal("introsort failed on duplicate-heavy input")
+	}
+	// With payload and random data.
+	rng := rand.New(rand.NewSource(2))
+	payload := make([]float64, 1000)
+	keys2 := make([]float64, 1000)
+	for i := range keys2 {
+		keys2[i] = rng.Float64()
+		payload[i] = -keys2[i]
+	}
+	IntroSort64(keys2, payload)
+	if !IsSorted64(keys2) {
+		t.Fatal("introsort failed")
+	}
+	for i := range keys2 {
+		if payload[i] != -keys2[i] {
+			t.Fatal("introsort payload decoupled")
+		}
+	}
+}
+
+func TestArgSort64(t *testing.T) {
+	keys := []float64{0.3, 0.1, 0.2, 0.1}
+	idx := ArgSort64(keys)
+	// keys untouched
+	if keys[0] != 0.3 {
+		t.Fatal("ArgSort64 modified keys")
+	}
+	prev := math.Inf(-1)
+	seen := make(map[int]bool)
+	for _, i := range idx {
+		if keys[i] < prev {
+			t.Fatalf("ArgSort64 order wrong: %v", idx)
+		}
+		prev = keys[i]
+		if seen[i] {
+			t.Fatalf("ArgSort64 repeated index %d", i)
+		}
+		seen[i] = true
+	}
+}
+
+func TestArgSort64Property(t *testing.T) {
+	f := func(raw []float64) bool {
+		keys := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				keys = append(keys, v)
+			}
+		}
+		idx := ArgSort64(keys)
+		if len(idx) != len(keys) {
+			return false
+		}
+		for i := 1; i < len(idx); i++ {
+			if keys[idx[i]] < keys[idx[i-1]] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsSorted(t *testing.T) {
+	if !IsSorted32([]float32{1, 2, 2, 3}) || IsSorted32([]float32{2, 1}) {
+		t.Error("IsSorted32 wrong")
+	}
+	if !IsSorted64(nil) || !IsSorted64([]float64{5}) {
+		t.Error("IsSorted64 degenerate cases wrong")
+	}
+}
+
+func BenchmarkQuickSort32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4096
+	src := randomFloats32(rng, n)
+	keys := make([]float32, n)
+	payload := make([]float32, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, src)
+		copy(payload, src)
+		QuickSort32(keys, payload)
+	}
+}
+
+func BenchmarkIntroSort64(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 4096
+	src := make([]float64, n)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	keys := make([]float64, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(keys, src)
+		IntroSort64(keys, nil)
+	}
+}

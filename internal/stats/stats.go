@@ -1,0 +1,204 @@
+// Package stats provides the descriptive statistics used across the
+// experiment harness and tests: moments, quantiles, error metrics, and the
+// run-time summary helpers (median-of-five) the paper's measurement
+// protocol calls for.
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased (n-1 denominator) sample variance of xs,
+// or NaN when fewer than two values are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MinMax returns the smallest and largest elements of xs. It panics on an
+// empty slice.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		panic("stats: MinMax of empty slice")
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return min, max
+}
+
+// Range returns max - min of xs — the "domain" of X the paper uses as the
+// default maximum bandwidth.
+func Range(xs []float64) float64 {
+	min, max := MinMax(xs)
+	return max - min
+}
+
+// Quantile returns the p-th quantile (0 <= p <= 1) of xs using linear
+// interpolation between order statistics (R type-7). xs is not modified.
+func Quantile(xs []float64, p float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return math.NaN()
+	}
+	if p < 0 || p > 1 {
+		panic("stats: Quantile p out of [0,1]")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 0.5 quantile of xs.
+func Median(xs []float64) float64 { return Quantile(xs, 0.5) }
+
+// IQR returns the interquartile range Q3 - Q1 of xs, used by the
+// Silverman rule of thumb.
+func IQR(xs []float64) float64 { return Quantile(xs, 0.75) - Quantile(xs, 0.25) }
+
+// RMSE returns the root mean squared error between predictions yhat and
+// targets y. The slices must be the same length.
+func RMSE(yhat, y []float64) float64 {
+	if len(yhat) != len(y) {
+		panic("stats: RMSE length mismatch")
+	}
+	if len(y) == 0 {
+		return math.NaN()
+	}
+	var ss float64
+	for i := range y {
+		d := yhat[i] - y[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(y)))
+}
+
+// MAE returns the mean absolute error between yhat and y.
+func MAE(yhat, y []float64) float64 {
+	if len(yhat) != len(y) {
+		panic("stats: MAE length mismatch")
+	}
+	if len(y) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for i := range y {
+		s += math.Abs(yhat[i] - y[i])
+	}
+	return s / float64(len(y))
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|, the agreement metric the
+// correctness protocol (§IV.C of the paper) uses when checking that the
+// sequential and device programs produce identical results.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// RunSummary summarises repeated run-time measurements of one experiment
+// cell. The paper runs each (program, n, k) combination five times; the
+// harness reports the median.
+type RunSummary struct {
+	Runs   int
+	Median float64
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64
+}
+
+// Summarize computes a RunSummary over seconds. It panics on an empty
+// slice.
+func Summarize(seconds []float64) RunSummary {
+	if len(seconds) == 0 {
+		panic("stats: Summarize of empty slice")
+	}
+	min, max := MinMax(seconds)
+	sd := 0.0
+	if len(seconds) >= 2 {
+		sd = StdDev(seconds)
+	}
+	return RunSummary{
+		Runs:   len(seconds),
+		Median: Median(seconds),
+		Mean:   Mean(seconds),
+		Min:    min,
+		Max:    max,
+		StdDev: sd,
+	}
+}
+
+// Correlation returns the Pearson correlation of x and y, or NaN when
+// either is constant or the slices are shorter than 2.
+func Correlation(x, y []float64) float64 {
+	if len(x) != len(y) {
+		panic("stats: Correlation length mismatch")
+	}
+	n := len(x)
+	if n < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(x), Mean(y)
+	var sxy, sxx, syy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}

@@ -1,0 +1,196 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMean(t *testing.T) {
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean wrong")
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean of empty should be NaN")
+	}
+}
+
+func TestVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// Sample variance with n−1 denominator: 32/7.
+	if got := Variance(xs); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := StdDev(xs); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", got)
+	}
+	if !math.IsNaN(Variance([]float64{1})) {
+		t.Error("Variance of one value should be NaN")
+	}
+}
+
+func TestMinMaxRange(t *testing.T) {
+	min, max := MinMax([]float64{3, -1, 4, 1, 5})
+	if min != -1 || max != 5 {
+		t.Errorf("MinMax = %v, %v", min, max)
+	}
+	if Range([]float64{3, -1, 4}) != 5 {
+		t.Error("Range wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MinMax(empty) should panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for p, want := range cases {
+		if got := Quantile(xs, p); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", p, got, want)
+		}
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("interpolated median = %v", got)
+	}
+	// Input must not be reordered.
+	orig := []float64{5, 1, 3}
+	Quantile(orig, 0.5)
+	if orig[0] != 5 {
+		t.Error("Quantile modified its input")
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty should be NaN")
+	}
+	if Quantile([]float64{7}, 0.3) != 7 {
+		t.Error("single-element quantile wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Quantile(p>1) should panic")
+		}
+	}()
+	Quantile(xs, 1.5)
+}
+
+func TestMedianIQR(t *testing.T) {
+	if Median([]float64{1, 3, 2}) != 2 {
+		t.Error("Median wrong")
+	}
+	if got := IQR([]float64{1, 2, 3, 4, 5}); math.Abs(got-2) > 1e-12 {
+		t.Errorf("IQR = %v", got)
+	}
+}
+
+func TestRMSEMAE(t *testing.T) {
+	yhat := []float64{1, 2, 3}
+	y := []float64{1, 2, 7}
+	if got := RMSE(yhat, y); math.Abs(got-4/math.Sqrt(3)) > 1e-12 {
+		t.Errorf("RMSE = %v", got)
+	}
+	if got := MAE(yhat, y); math.Abs(got-4.0/3) > 1e-12 {
+		t.Errorf("MAE = %v", got)
+	}
+	if !math.IsNaN(RMSE(nil, nil)) || !math.IsNaN(MAE(nil, nil)) {
+		t.Error("empty error metrics should be NaN")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RMSE length mismatch should panic")
+		}
+	}()
+	RMSE([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	if MaxAbsDiff([]float64{1, 2, 3}, []float64{1, 0, 3.5}) != 2 {
+		t.Error("MaxAbsDiff wrong")
+	}
+	if MaxAbsDiff(nil, nil) != 0 {
+		t.Error("MaxAbsDiff of empty should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{3, 1, 2, 5, 4})
+	if s.Runs != 5 || s.Median != 3 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Errorf("Summarize = %+v", s)
+	}
+	if s.StdDev <= 0 {
+		t.Error("StdDev should be positive")
+	}
+	one := Summarize([]float64{2.5})
+	if one.StdDev != 0 || one.Median != 2.5 {
+		t.Errorf("single-run summary = %+v", one)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Summarize(empty) should panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestCorrelation(t *testing.T) {
+	x := []float64{1, 2, 3, 4}
+	y := []float64{2, 4, 6, 8}
+	if got := Correlation(x, y); math.Abs(got-1) > 1e-12 {
+		t.Errorf("perfect correlation = %v", got)
+	}
+	neg := []float64{8, 6, 4, 2}
+	if got := Correlation(x, neg); math.Abs(got+1) > 1e-12 {
+		t.Errorf("perfect anticorrelation = %v", got)
+	}
+	if !math.IsNaN(Correlation(x, []float64{1, 1, 1, 1})) {
+		t.Error("constant series should give NaN")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(100)
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(-1)
+		for p := 0.0; p <= 1.0; p += 0.05 {
+			q := Quantile(xs, p)
+			if q < prev {
+				return false
+			}
+			prev = q
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMedianBetweenMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		min, max := MinMax(xs)
+		m := Median(xs)
+		return m >= min && m <= max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,191 @@
+package kernreg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestLocalLinearEstimatorOption(t *testing.T) {
+	x, y := paperData(200, 21)
+	ll, err := SelectBandwidth(x, y, WithEstimator(LocalLinear), GridSize(30), KeepScores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ll.Bandwidth <= 0 || len(ll.Scores) != 30 {
+		t.Errorf("local-linear selection = %+v", ll)
+	}
+	// Naive path agrees with the sorted path.
+	naive, err := SelectBandwidth(x, y, WithEstimator(LocalLinear), WithMethod(MethodNaive), GridSize(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if naive.Index != ll.Index {
+		t.Errorf("ll naive index %d vs sorted %d", naive.Index, ll.Index)
+	}
+	// Unsupported combinations fail loudly.
+	if _, err := SelectBandwidth(x, y, WithEstimator(LocalLinear), WithMethod(MethodGPU)); err == nil {
+		t.Error("ll + gpu should be rejected")
+	}
+	if _, err := SelectBandwidth(x, y, WithEstimator(LocalLinear), WithKernel("gaussian")); err == nil {
+		t.Error("ll + sorted + gaussian should be rejected")
+	}
+	if _, err := SelectBandwidth(x, y, WithEstimator(LocalLinear), WithKernel("gaussian"), WithMethod(MethodNaive)); err != nil {
+		t.Errorf("ll + naive + gaussian should work: %v", err)
+	}
+}
+
+func TestEstimatorString(t *testing.T) {
+	if LocalConstant.String() != "lc" || LocalLinear.String() != "ll" {
+		t.Error("estimator names wrong")
+	}
+	if Estimator(7).String() == "" {
+		t.Error("unknown estimator should stringify")
+	}
+}
+
+func mvSample(n int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([][]float64, n)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		a, b := rng.Float64(), rng.Float64()
+		x[i] = []float64{a, b}
+		y[i] = a*a + b + 0.15*rng.NormFloat64()
+	}
+	return x, y
+}
+
+func TestSelectBandwidthMV(t *testing.T) {
+	x, y := mvSample(150, 5)
+	cd, err := SelectBandwidthMV(x, y, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cd.Bandwidths) != 2 || cd.Sweeps < 1 {
+		t.Errorf("coordinate descent = %+v", cd)
+	}
+	mesh, err := SelectBandwidthMV(x, y, 10, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mesh.Evals != 100 {
+		t.Errorf("mesh evals = %d, want 100", mesh.Evals)
+	}
+	if cd.CV > mesh.CV*1.05 {
+		t.Errorf("descent CV %v far above mesh %v", cd.CV, mesh.CV)
+	}
+	// Defaults.
+	if _, err := SelectBandwidthMV(x, y, 0, false); err != nil {
+		t.Errorf("default k: %v", err)
+	}
+	// Validation.
+	if _, err := SelectBandwidthMV([][]float64{{1, 2}}, []float64{1}, 5, false); err == nil {
+		t.Error("single observation should fail")
+	}
+}
+
+func TestFitMVPredict(t *testing.T) {
+	x, y := mvSample(2000, 9)
+	reg, err := FitMV(x, y, []float64{0.15, 0.15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.Predict([]float64{0.5, 0.5})
+	want := 0.25 + 0.5
+	if !ok || math.Abs(got-want) > 0.12 {
+		t.Errorf("MV prediction = %v, want ≈ %v", got, want)
+	}
+	hs := reg.Bandwidths()
+	hs[0] = 99
+	if h2 := reg.Bandwidths(); h2[0] == 99 {
+		t.Error("Bandwidths should return a copy")
+	}
+	if _, err := FitMV(x, y, []float64{0.1}); err == nil {
+		t.Error("bandwidth count mismatch should fail")
+	}
+}
+
+func TestSelectDensityBandwidthGPU(t *testing.T) {
+	d := data.GeneratePaper(300, 31)
+	gpuSel, err := SelectDensityBandwidthGPU(d.X, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gpuSel.Rule != "lscv-gpu" || gpuSel.Bandwidth <= 0 {
+		t.Errorf("gpu density selection = %+v", gpuSel)
+	}
+	host, err := SelectDensityBandwidth(d.X, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Device float32 vs host float64: same grid, same criterion — the
+	// selected bandwidths should be the same grid point or neighbours.
+	if math.Abs(gpuSel.Bandwidth-host.Bandwidth) > 2*host.Bandwidth/40+1e-9 {
+		t.Errorf("gpu h = %v vs host h = %v", gpuSel.Bandwidth, host.Bandwidth)
+	}
+	// Validation.
+	if _, err := SelectDensityBandwidthGPU([]float64{1}, 10); err == nil {
+		t.Error("single observation should fail")
+	}
+	if _, err := SelectDensityBandwidthGPU([]float64{1, 1, 1}, 10); err == nil {
+		t.Error("zero-domain sample should fail")
+	}
+	if _, err := SelectDensityBandwidthGPU(d.X, 2049); err == nil {
+		t.Error("k=2049 should hit the device constant-cache cap")
+	}
+}
+
+func TestAICcCriterion(t *testing.T) {
+	x, y := paperData(250, 23)
+	sorted, err := SelectBandwidth(x, y, WithCriterion(CriterionAICc), GridSize(30), KeepScores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := SelectBandwidth(x, y, WithCriterion(CriterionAICc), WithMethod(MethodNaive), GridSize(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Index != naive.Index {
+		t.Errorf("AICc sorted %d vs naive %d", sorted.Index, naive.Index)
+	}
+	if len(sorted.Scores) != 30 {
+		t.Error("scores missing")
+	}
+	// AICc and CV selections should be in the same neighbourhood.
+	cv, err := SelectBandwidth(x, y, GridSize(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sorted.Bandwidth > cv.Bandwidth*5 || sorted.Bandwidth < cv.Bandwidth/5 {
+		t.Errorf("AICc h = %v far from CV h = %v", sorted.Bandwidth, cv.Bandwidth)
+	}
+	// Unsupported combinations.
+	if _, err := SelectBandwidth(x, y, WithCriterion(CriterionAICc), WithMethod(MethodGPU)); err == nil {
+		t.Error("AICc + gpu should be rejected")
+	}
+	if _, err := SelectBandwidth(x, y, WithCriterion(CriterionAICc), WithEstimator(LocalLinear)); err == nil {
+		t.Error("AICc + ll should be rejected")
+	}
+	if _, err := SelectBandwidth(x, y, WithCriterion(CriterionAICc), WithKernel("gaussian"), WithMethod(MethodNaive)); err != nil {
+		t.Errorf("AICc + naive + gaussian should work: %v", err)
+	}
+	if CriterionCV.String() != "cv.ls" || CriterionAICc.String() != "cv.aic" || Criterion(9).String() == "" {
+		t.Error("criterion names wrong")
+	}
+}
+
+func TestDerivativeAPI(t *testing.T) {
+	d := data.GeneratePaper(3000, 29)
+	reg, err := Fit(d.X, d.Y, 0.06)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := reg.Derivative(0.5)
+	want := 0.5 + 20*0.5 // d/dx of 0.5x + 10x²
+	if !ok || math.Abs(got-want) > 2 {
+		t.Errorf("marginal effect at 0.5 = %v, want ≈ %v", got, want)
+	}
+}

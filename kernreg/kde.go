@@ -1,0 +1,80 @@
+package kernreg
+
+import (
+	"fmt"
+
+	"repro/internal/kde"
+	"repro/internal/kernel"
+)
+
+// Density is a fitted kernel density estimate.
+type Density struct {
+	d *kde.Density
+}
+
+// NewDensity constructs a kernel density estimate of the sample x with
+// bandwidth h and the named kernel.
+func NewDensity(x []float64, h float64, kernelName string) (*Density, error) {
+	k, err := kernel.Parse(kernelName)
+	if err != nil {
+		return nil, err
+	}
+	d, err := kde.New(x, h, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Density{d: d}, nil
+}
+
+// At returns the density estimate at x0.
+func (d *Density) At(x0 float64) float64 { return d.d.At(x0) }
+
+// Grid evaluates the density at each point of xs.
+func (d *Density) Grid(xs []float64) []float64 { return d.d.Grid(xs) }
+
+// Bandwidth returns the estimate's bandwidth.
+func (d *Density) Bandwidth() float64 { return d.d.Bandwidth }
+
+// DensitySelection reports a KDE bandwidth choice.
+type DensitySelection struct {
+	Bandwidth float64
+	Score     float64 // LSCV criterion value (rule-of-thumb selections report NaN-free 0)
+	Rule      string  // "lscv", "silverman", or "scott"
+}
+
+// SelectDensityBandwidth chooses a KDE bandwidth for the sample x by
+// least-squares cross-validation over a k-point grid, using the paper's
+// sorted incremental technique applied to the KDE problem (its stated
+// extension). k defaults to 50 when non-positive.
+func SelectDensityBandwidth(x []float64, k int) (DensitySelection, error) {
+	if k <= 0 {
+		k = 50
+	}
+	r, err := kde.SelectLSCV(x, k)
+	if err != nil {
+		return DensitySelection{}, err
+	}
+	return DensitySelection{Bandwidth: r.H, Score: r.Score, Rule: "lscv"}, nil
+}
+
+// RuleOfThumbBandwidth returns the named rule-of-thumb KDE bandwidth
+// ("silverman" or "scott") for kernel kernelName — the computationally
+// cheap alternatives the paper says practitioners typically use instead
+// of cross-validation.
+func RuleOfThumbBandwidth(x []float64, rule, kernelName string) (DensitySelection, error) {
+	k, err := kernel.Parse(kernelName)
+	if err != nil {
+		return DensitySelection{}, err
+	}
+	if len(x) < 2 {
+		return DensitySelection{}, kde.ErrSample
+	}
+	switch rule {
+	case "silverman":
+		return DensitySelection{Bandwidth: kde.Silverman(x, k), Rule: rule}, nil
+	case "scott":
+		return DensitySelection{Bandwidth: kde.Scott(x, k), Rule: rule}, nil
+	default:
+		return DensitySelection{}, fmt.Errorf("kernreg: unknown rule of thumb %q", rule)
+	}
+}

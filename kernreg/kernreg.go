@@ -1,0 +1,365 @@
+// Package kernreg is the public API of this library: optimal bandwidth
+// selection for Nadaraya–Watson kernel regression by leave-one-out
+// cross-validation over a bandwidth grid, following Rohlfs & Zahran,
+// "Optimal Bandwidth Selection for Kernel Regression Using a Fast Grid
+// Search and a GPU" (IPPS 2017).
+//
+// The default selector is the paper's sorted incremental grid search:
+// exact over the grid (no numerical-optimisation local minima) at
+// O(n² log n) for the whole grid rather than the naive O(k·n²). Method
+// options expose the naive search, the numerical optimiser the paper
+// criticises, a goroutine-parallel search, and the paper's CUDA program
+// executed on a simulated GPU.
+//
+//	sel, err := kernreg.SelectBandwidth(x, y, kernreg.GridSize(50))
+//	reg, err := kernreg.Fit(x, y, sel.Bandwidth)
+//	yhat, ok := reg.Predict(0.3)
+package kernreg
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bandwidth"
+	"repro/internal/baselines"
+	"repro/internal/core"
+	"repro/internal/kernel"
+	"repro/internal/regression"
+)
+
+// Method selects the bandwidth-search algorithm.
+type Method int
+
+const (
+	// MethodSorted is the paper's sorted incremental grid search
+	// (double precision). The default.
+	MethodSorted Method = iota
+	// MethodSortedParallel fans the sorted search across goroutines.
+	MethodSortedParallel
+	// MethodSortedF32 is the single-precision variant, bit-faithful to
+	// the paper's sequential C program.
+	MethodSortedF32
+	// MethodNaive evaluates the CV objective independently per grid
+	// point (O(k·n²)); works with every kernel.
+	MethodNaive
+	// MethodNumerical uses derivative-free numerical optimisation (the
+	// approach of the R np package). Subject to local minima.
+	MethodNumerical
+	// MethodGPU runs the paper's CUDA pipeline on a simulated GPU
+	// (functional mode), including its memory-capacity limits.
+	MethodGPU
+	// MethodGPUTiled runs the future-work tiled pipeline (no n×n
+	// matrices) on the simulated GPU: identical results, O(C·n) device
+	// memory.
+	MethodGPUTiled
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case MethodSorted:
+		return "sorted"
+	case MethodSortedParallel:
+		return "sorted-parallel"
+	case MethodSortedF32:
+		return "sorted-f32"
+	case MethodNaive:
+		return "naive"
+	case MethodNumerical:
+		return "numerical"
+	case MethodGPU:
+		return "gpu"
+	case MethodGPUTiled:
+		return "gpu-tiled"
+	default:
+		return fmt.Sprintf("kernreg.Method(%d)", int(m))
+	}
+}
+
+// ParseMethod returns the Method named by s.
+func ParseMethod(s string) (Method, error) {
+	for _, m := range []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled} {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("kernreg: unknown method %q", s)
+}
+
+// config collects the selection options.
+type config struct {
+	method     Method
+	kern       kernel.Kind
+	estimator  Estimator
+	criterion  Criterion
+	gridSize   int
+	gridMin    float64
+	gridMax    float64
+	workers    int
+	starts     int
+	keepScores bool
+}
+
+// Option configures SelectBandwidth.
+type Option func(*config) error
+
+// WithMethod selects the search algorithm.
+func WithMethod(m Method) Option {
+	return func(c *config) error { c.method = m; return nil }
+}
+
+// WithKernel selects the kernel weighting function by name
+// ("epanechnikov", "uniform", "triangular", "gaussian", "biweight",
+// "triweight", "cosine"). The sorted methods require a compact
+// prefix-decomposable kernel; the naive and numerical methods accept any.
+func WithKernel(name string) Option {
+	return func(c *config) error {
+		k, err := kernel.Parse(name)
+		if err != nil {
+			return err
+		}
+		c.kern = k
+		return nil
+	}
+}
+
+// GridSize sets the number of candidate bandwidths (paper default: 50).
+func GridSize(k int) Option {
+	return func(c *config) error {
+		if k < 1 {
+			return errors.New("kernreg: grid size must be at least 1")
+		}
+		c.gridSize = k
+		return nil
+	}
+}
+
+// GridRange overrides the paper's default grid range (domain/k … domain
+// of X) with explicit bounds.
+func GridRange(min, max float64) Option {
+	return func(c *config) error {
+		if !(min > 0) || !(max > min) {
+			return fmt.Errorf("kernreg: invalid grid range [%g, %g]", min, max)
+		}
+		c.gridMin, c.gridMax = min, max
+		return nil
+	}
+}
+
+// Workers sets the goroutine count for the parallel methods (0 =
+// GOMAXPROCS).
+func Workers(n int) Option {
+	return func(c *config) error { c.workers = n; return nil }
+}
+
+// Restarts sets the number of multi-start restarts for MethodNumerical.
+func Restarts(n int) Option {
+	return func(c *config) error {
+		if n < 1 {
+			return errors.New("kernreg: restarts must be at least 1")
+		}
+		c.starts = n
+		return nil
+	}
+}
+
+// KeepScores retains the full CV score vector in the Selection.
+func KeepScores() Option {
+	return func(c *config) error { c.keepScores = true; return nil }
+}
+
+// Selection is the outcome of a bandwidth search.
+type Selection struct {
+	// Bandwidth is the selected smoothing parameter.
+	Bandwidth float64
+	// CV is the leave-one-out cross-validation score at Bandwidth.
+	CV float64
+	// Index is the position in the grid (-1 for MethodNumerical, which
+	// searches a continuum).
+	Index int
+	// Grid is the candidate grid used (nil for MethodNumerical).
+	Grid []float64
+	// Scores holds CV(h) for every grid point when KeepScores was set.
+	Scores []float64
+	// Method records which algorithm produced the selection.
+	Method Method
+}
+
+// SelectBandwidth chooses the CV-optimal bandwidth for a Nadaraya–Watson
+// regression of y on x. Defaults: Epanechnikov kernel, 50-point grid over
+// the paper's default range, sorted grid search.
+func SelectBandwidth(x, y []float64, opts ...Option) (Selection, error) {
+	c := config{method: MethodSorted, kern: kernel.Epanechnikov, gridSize: 50}
+	for _, opt := range opts {
+		if err := opt(&c); err != nil {
+			return Selection{}, err
+		}
+	}
+	if c.estimator == LocalLinear {
+		if c.criterion != CriterionCV {
+			return Selection{}, errors.New("kernreg: the AICc criterion currently supports the local-constant estimator only")
+		}
+		return selectLocalLinear(x, y, c)
+	}
+	if c.criterion == CriterionAICc {
+		return selectAICc(x, y, c)
+	}
+	if c.method == MethodNumerical {
+		return selectNumerical(x, y, c)
+	}
+	g, err := buildGrid(x, c)
+	if err != nil {
+		return Selection{}, err
+	}
+	var r bandwidth.Result
+	switch c.method {
+	case MethodSorted:
+		r, err = bandwidth.SortedGridSearchKernel(x, y, g, c.kern)
+	case MethodSortedParallel:
+		if c.kern != kernel.Epanechnikov {
+			return Selection{}, errors.New("kernreg: sorted-parallel currently supports the epanechnikov kernel only")
+		}
+		r, err = bandwidth.SortedGridSearchParallel(x, y, g, c.workers)
+	case MethodSortedF32:
+		if c.kern != kernel.Epanechnikov {
+			return Selection{}, errors.New("kernreg: sorted-f32 supports the epanechnikov kernel only")
+		}
+		r, err = core.SortedSequential(x, y, g)
+	case MethodNaive:
+		r, err = bandwidth.NaiveGridSearch(x, y, g, c.kern)
+	case MethodGPU:
+		if c.kern != kernel.Epanechnikov && c.kern != kernel.Uniform && c.kern != kernel.Triangular {
+			return Selection{}, errors.New("kernreg: gpu method supports the epanechnikov, uniform and triangular kernels")
+		}
+		r, _, err = core.SelectGPU(x, y, g, core.GPUOptions{KeepScores: c.keepScores, Kernel: c.kern})
+	case MethodGPUTiled:
+		if c.kern != kernel.Epanechnikov {
+			return Selection{}, errors.New("kernreg: gpu-tiled supports the epanechnikov kernel only")
+		}
+		r, _, _, err = core.SelectGPUTiled(x, y, g, core.TiledOptions{KeepScores: c.keepScores})
+	default:
+		return Selection{}, fmt.Errorf("kernreg: unsupported method %v", c.method)
+	}
+	if err != nil {
+		return Selection{}, err
+	}
+	sel := Selection{
+		Bandwidth: r.H,
+		CV:        r.CV,
+		Index:     r.Index,
+		Grid:      append([]float64(nil), g.H...),
+		Method:    c.method,
+	}
+	if c.keepScores {
+		sel.Scores = r.Scores
+	}
+	return sel, nil
+}
+
+func buildGrid(x []float64, c config) (bandwidth.Grid, error) {
+	if c.gridMin > 0 {
+		return bandwidth.NewGrid(c.gridMin, c.gridMax, c.gridSize)
+	}
+	return bandwidth.DefaultGrid(x, c.gridSize)
+}
+
+func selectNumerical(x, y []float64, c config) (Selection, error) {
+	opt := baselines.Options{Kernel: c.kern, Starts: c.starts, Workers: c.workers}
+	if c.gridMin > 0 {
+		opt.Lo, opt.Hi = c.gridMin, c.gridMax
+	}
+	var r baselines.Result
+	var err error
+	if c.workers > 1 {
+		r, err = baselines.SelectNumericalParallel(x, y, opt)
+	} else {
+		r, err = baselines.SelectNumerical(x, y, opt)
+	}
+	if err != nil {
+		return Selection{}, err
+	}
+	return Selection{Bandwidth: r.H, CV: r.CV, Index: -1, Method: MethodNumerical}, nil
+}
+
+// Regression is a fitted Nadaraya–Watson kernel regression.
+type Regression struct {
+	m *regression.Model
+}
+
+// Fit constructs a kernel regression of y on x with bandwidth h and the
+// Epanechnikov kernel. Use FitKernel to choose another kernel.
+func Fit(x, y []float64, h float64) (*Regression, error) {
+	return FitKernel(x, y, h, "epanechnikov")
+}
+
+// FitKernel is Fit with an explicit kernel name.
+func FitKernel(x, y []float64, h float64, kernelName string) (*Regression, error) {
+	k, err := kernel.Parse(kernelName)
+	if err != nil {
+		return nil, err
+	}
+	m, err := regression.New(x, y, h, k)
+	if err != nil {
+		return nil, err
+	}
+	return &Regression{m: m}, nil
+}
+
+// Bandwidth returns the model's bandwidth.
+func (r *Regression) Bandwidth() float64 { return r.m.Bandwidth }
+
+// Predict returns the estimated conditional mean at x0; ok is false when
+// no observation falls within the bandwidth (the estimate is then NaN).
+func (r *Regression) Predict(x0 float64) (value float64, ok bool) {
+	return r.m.Predict(x0)
+}
+
+// PredictGrid evaluates the regression at each point of xs.
+func (r *Regression) PredictGrid(xs []float64) []float64 {
+	return r.m.PredictGrid(xs)
+}
+
+// PredictLocalLinear returns the local-linear estimate at x0, which
+// removes the local-constant estimator's boundary bias.
+func (r *Regression) PredictLocalLinear(x0 float64) (value float64, ok bool) {
+	return r.m.PredictLocalLinear(x0)
+}
+
+// PredictLocalPoly returns the degree-p local polynomial estimate at x0
+// (degree 0 = Nadaraya–Watson, 1 = local linear, up to 5). Singular local
+// designs degrade gracefully to the highest solvable degree.
+func (r *Regression) PredictLocalPoly(x0 float64, degree int) (value float64, ok bool) {
+	return r.m.PredictLocalPoly(x0, degree)
+}
+
+// Derivative returns the nonparametric marginal effect ∂E[Y|X=x]/∂x at
+// x0 (the local-linear slope); ok is false where the slope is
+// unidentified.
+func (r *Regression) Derivative(x0 float64) (value float64, ok bool) {
+	return r.m.Derivative(x0)
+}
+
+// CVScore returns the leave-one-out cross-validation score of the fitted
+// bandwidth.
+func (r *Regression) CVScore() float64 { return r.m.CVScore() }
+
+// EffectiveN returns the kernel-weighted effective number of observations
+// contributing to the estimate at x0.
+func (r *Regression) EffectiveN(x0 float64) float64 { return r.m.EffectiveN(x0) }
+
+// Band is a pointwise confidence band around the fitted curve.
+type Band struct {
+	X, Fit, Lower, Upper []float64
+}
+
+// ConfidenceBand returns pointwise confidence bands over xs at normal
+// critical value z (e.g. 1.96 for 95%), using leave-one-out residuals for
+// the local variance — the LOO-CV confidence intervals the paper lists as
+// a direct extension of its machinery.
+func (r *Regression) ConfidenceBand(xs []float64, z float64) (Band, error) {
+	b, err := r.m.ConfidenceBand(xs, z)
+	if err != nil {
+		return Band{}, err
+	}
+	return Band{X: b.X, Fit: b.Fit, Lower: b.Lower, Upper: b.Upper}, nil
+}

@@ -1,0 +1,51 @@
+package kernreg
+
+import (
+	"repro/internal/knn"
+)
+
+// KNNSelection reports a cross-validated neighbour-count choice.
+type KNNSelection struct {
+	K      int
+	CV     float64
+	Scores []float64 // CV for every k = 1..len(Scores)
+}
+
+// SelectNeighbors cross-validates the neighbour count of a k-nearest-
+// neighbour regression of y on x over k = 1..maxK (maxK ≤ 0 means n−1),
+// using one sorted prefix-mean sweep per observation — the adaptive-
+// bandwidth counterpart of SelectBandwidth, provided because the paper's
+// related work (Creel & Zubair) uses the k-NN estimator.
+func SelectNeighbors(x, y []float64, maxK int) (KNNSelection, error) {
+	r, err := knn.SelectK(x, y, maxK)
+	if err != nil {
+		return KNNSelection{}, err
+	}
+	return KNNSelection{K: r.K, CV: r.CV, Scores: r.Scores}, nil
+}
+
+// KNNRegression is a fitted k-nearest-neighbour regression.
+type KNNRegression struct {
+	m *knn.Model
+}
+
+// FitKNN constructs a k-NN regression with k neighbours.
+func FitKNN(x, y []float64, k int) (*KNNRegression, error) {
+	m, err := knn.New(x, y, k)
+	if err != nil {
+		return nil, err
+	}
+	return &KNNRegression{m: m}, nil
+}
+
+// Predict returns the mean response of the k nearest neighbours of x0.
+func (r *KNNRegression) Predict(x0 float64) float64 { return r.m.Predict(x0) }
+
+// K returns the neighbour count.
+func (r *KNNRegression) K() int { return r.m.K }
+
+// EffectiveBandwidth returns the adaptive bandwidth the estimator implies
+// at x0 — the distance to the k-th nearest neighbour.
+func (r *KNNRegression) EffectiveBandwidth(x0 float64) float64 {
+	return r.m.EffectiveBandwidthAt(x0)
+}

@@ -1,0 +1,40 @@
+package kernreg
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+)
+
+func TestKNNAPI(t *testing.T) {
+	d := data.GeneratePaper(400, 13)
+	sel, err := SelectNeighbors(d.X, d.Y, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.K < 1 || sel.K > 100 || len(sel.Scores) != 100 {
+		t.Errorf("selection = %+v", sel)
+	}
+	reg, err := FitKNN(d.X, d.Y, sel.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.K() != sel.K {
+		t.Error("K not stored")
+	}
+	got := reg.Predict(0.5)
+	want := data.Paper.TrueMean(0.5)
+	if math.Abs(got-want) > 0.2 {
+		t.Errorf("k-NN fit = %v, want ≈ %v", got, want)
+	}
+	if reg.EffectiveBandwidth(0.5) <= 0 {
+		t.Error("effective bandwidth should be positive")
+	}
+	if _, err := SelectNeighbors(d.X[:2], d.Y[:2], 0); err == nil {
+		t.Error("n<3 should fail")
+	}
+	if _, err := FitKNN(d.X, d.Y, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+}
