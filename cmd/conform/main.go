@@ -1,0 +1,102 @@
+// Command conform runs the differential conformance harness: every
+// registered bandwidth selector on every corpus dataset, cross-checked
+// against the naive float64 oracle under the per-class tolerance policy
+// of internal/conformance, plus the metamorphic invariance suite. It
+// prints the per-backend agreement matrix and exits non-zero on any
+// disagreement, so it can gate CI and golden-file refreshes.
+//
+// Usage:
+//
+//	conform [-short] [-v] [-selectors naive,sorted,...] [-datasets paper-64,...] [-invariants=true]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/conformance"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "conform:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		short      = flag.Bool("short", false, "skip the heavy (large-n) corpus cases")
+		verbose    = flag.Bool("v", false, "print per-cell detail for skips and failures")
+		selectors  = flag.String("selectors", "", "comma-separated selector subset (default: all)")
+		datasets   = flag.String("datasets", "", "comma-separated dataset subset (default: all)")
+		invariants = flag.Bool("invariants", true, "also run the metamorphic invariance suite")
+	)
+	flag.Parse()
+
+	opt := conformance.Options{SkipHeavy: *short}
+	if *selectors != "" {
+		opt.Selectors = splitList(*selectors)
+	}
+	if *datasets != "" {
+		opt.Datasets = splitList(*datasets)
+	}
+
+	start := time.Now()
+	m, err := conformance.RunAll(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("agreement matrix (%d selectors × %d datasets, oracle: naive float64 grid search)\n\n",
+		len(m.Selectors), len(m.Datasets))
+	fmt.Print(m.String())
+	pass, fail, skip := m.Counts()
+	fmt.Printf("\ncells: %d ok, %d failed, %d skipped (outside backend domain)\n", pass, fail, skip)
+	if *verbose || fail > 0 {
+		for _, c := range m.Failures() {
+			fmt.Printf("  FAIL %s on %s: %s\n", c.Selector, c.Dataset, c.Detail)
+		}
+	}
+
+	invFailed := 0
+	if *invariants {
+		results, err := conformance.CheckInvariants(opt)
+		if err != nil {
+			return err
+		}
+		ran, skipped := 0, 0
+		for _, r := range results {
+			switch r.Status {
+			case conformance.Pass:
+				ran++
+			case conformance.Skip:
+				skipped++
+			case conformance.Fail:
+				invFailed++
+				fmt.Printf("  FAIL invariant %s / %s on %s: %s\n", r.Selector, r.Invariant, r.Dataset, r.Detail)
+			}
+		}
+		fmt.Printf("invariants (scale-x-pow2, flip-y, shift-x, permute): %d ok, %d failed, %d skipped\n",
+			ran, invFailed, skipped)
+	}
+	fmt.Printf("elapsed: %v\n", time.Since(start).Round(time.Millisecond))
+
+	if fail > 0 || invFailed > 0 {
+		return fmt.Errorf("%d agreement and %d invariance failures", fail, invFailed)
+	}
+	fmt.Println("all green: every backend agrees with the oracle under the documented tolerance policy")
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,6 +1,10 @@
 package core
 
 import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/bandwidth"
@@ -23,6 +27,78 @@ var goldenCases = []struct {
 	{300, 50, 42},
 	{500, 25, 7},
 	{777, 64, 123},
+}
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json with the current selections")
+
+// goldenEntry is one stored selection: the float64 sorted grid search on
+// the seeded paper DGP, recorded bit-exactly.
+type goldenEntry struct {
+	N     int     `json:"n"`
+	K     int     `json:"k"`
+	Seed  int64   `json:"seed"`
+	Index int     `json:"index"`
+	H     float64 `json:"h"`
+	CV    float64 `json:"cv"`
+}
+
+func currentGolden(t *testing.T) []goldenEntry {
+	t.Helper()
+	out := make([]goldenEntry, 0, len(goldenCases))
+	for _, c := range goldenCases {
+		d := data.GeneratePaper(c.n, c.seed)
+		g, err := bandwidth.DefaultGrid(d.X, c.k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := bandwidth.SortedGridSearch(d.X, d.Y, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, goldenEntry{N: c.n, K: c.k, Seed: c.seed, Index: r.Index, H: r.H, CV: r.CV})
+	}
+	return out
+}
+
+// TestGoldenSelections pins the selections to a checked-in baseline so
+// drift is visible in review, not just at run time. The refresh path is
+// deliberately two-step: conformance first, then -update.
+func TestGoldenSelections(t *testing.T) {
+	path := filepath.Join("testdata", "golden.json")
+	got := currentGolden(t)
+	if *updateGolden {
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d selections", path, len(got))
+		return
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden baseline %s: %v\nseed it with: go test ./internal/core -run TestGoldenSelections -update", path, err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden baseline %s: %v", path, err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden baseline has %d entries, test computes %d: baseline is stale, refresh with -update after `go run ./cmd/conform` passes", len(want), len(got))
+	}
+	for i, w := range got {
+		if w != want[i] {
+			t.Errorf("golden drift at n=%d k=%d seed=%d:\n  stored:  index=%d h=%v cv=%v\n  current: index=%d h=%v cv=%v\n"+
+				"A selection changed. Before refreshing, run `go run ./cmd/conform` to confirm every backend still agrees with the float64 oracle under the tolerance policy; "+
+				"if the drift is intended, refresh with `go test ./internal/core -run TestGoldenSelections -update`.",
+				w.N, w.K, w.Seed, want[i].Index, want[i].H, want[i].CV, w.Index, w.H, w.CV)
+		}
+	}
 }
 
 func TestGoldenAllSelectorsAgree(t *testing.T) {

@@ -1,0 +1,9 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in. Its
+// instrumentation slows hot loops by roughly an order of magnitude and
+// unevenly, so wall-clock verdicts (speedup ratios, k-scaling panels)
+// are meaningless under it and tests gate on this flag.
+const raceEnabled = true

@@ -155,10 +155,15 @@ func measureFunc(run func(data.Dataset, bandwidth.Grid) error, n int, cfg Config
 	return best, cfg.Runs, nil
 }
 
-// checkOrderingAtLargeN: at the largest affordable measured n, the paper's
-// ordering P1 > P3 > P4(model) holds.
+// checkOrderingAtLargeN: the paper's large-n ordering P1 > P3 > P4(model)
+// holds. P1 and P3 are measured at the largest affordable n and scaled to
+// the paper's n = 20,000 along their complexity curves (same protocol as
+// checkCrossover) so the verdict does not depend on how fast the host
+// happens to be relative to the modelled 2009 device: comparing a raw
+// n = 2,000 host measurement against the modelled GPU floor sits right at
+// the crossover and flips with machine load.
 func checkOrderingAtLargeN(cfg Config) (Check, error) {
-	n := 2000
+	n, bigN := 2000, 20000
 	p1, _, err := MeasureCell(ProgNumerical, n, cfg.K, cfg)
 	if err != nil {
 		return Check{}, err
@@ -167,17 +172,19 @@ func checkOrderingAtLargeN(cfg Config) (Check, error) {
 	if err != nil {
 		return Check{}, err
 	}
-	p4, _, err := MeasureCell(ProgGPU, n, cfg.K, cfg)
+	p4, _, err := MeasureCell(ProgGPU, bigN, cfg.K, cfg)
 	if err != nil {
 		return Check{}, err
 	}
-	pass := p1.Seconds > p3.Seconds && p3.Seconds > p4.Seconds*0.8
+	bigP1 := p1.Seconds * complexityFactor(ProgNumerical, bigN, cfg.K) / complexityFactor(ProgNumerical, n, cfg.K)
+	bigP3 := p3.Seconds * complexityFactor(ProgSeqC, bigN, cfg.K) / complexityFactor(ProgSeqC, n, cfg.K)
+	pass := bigP1 > bigP3 && bigP3 > p4.Seconds*0.8
 	return Check{
 		Name:  "large-n-ordering",
 		Claim: "at large n: numerical optimisation > sequential sorted > CUDA (§V)",
 		Pass:  pass,
-		Detail: fmt.Sprintf("n=%d: P1 %.3fs > P3 %.3fs > P4 %.3fs*",
-			n, p1.Seconds, p3.Seconds, p4.Seconds),
+		Detail: fmt.Sprintf("n=%d^: P1 %.1fs > P3 %.1fs > P4 %.1fs*",
+			bigN, bigP1, bigP3, p4.Seconds),
 	}, nil
 }
 

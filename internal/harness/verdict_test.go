@@ -18,8 +18,24 @@ func TestVerdictsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Verdicts that compare measured host wall-clock (to another program
+	// or to the paper's model) are meaningless under the race detector's
+	// uneven ~10x slowdown; the runs above still exercise the worker
+	// pools, which is what -race is for.
+	wallClock := map[string]bool{
+		"sorted-vs-naive":     true,
+		"large-n-ordering":    true,
+		"crossover":           true,
+		"headline-speedup":    true,
+		"panel-a-k-effect":    true,
+		"seqc-model-vs-paper": true,
+	}
 	for _, c := range checks {
 		if !c.Pass {
+			if raceEnabled && wallClock[c.Name] {
+				t.Logf("ignoring wall-clock verdict %s under -race: %s", c.Name, c.Detail)
+				continue
+			}
 			t.Errorf("check %s failed: %s", c.Name, c.Detail)
 		}
 	}

@@ -19,6 +19,7 @@ package kernreg
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"repro/internal/bandwidth"
 	"repro/internal/baselines"
@@ -195,6 +196,9 @@ func SelectBandwidth(x, y []float64, opts ...Option) (Selection, error) {
 			return Selection{}, err
 		}
 	}
+	if err := validateSample(x, y); err != nil {
+		return Selection{}, err
+	}
 	if c.estimator == LocalLinear {
 		if c.criterion != CriterionCV {
 			return Selection{}, errors.New("kernreg: the AICc criterion currently supports the local-constant estimator only")
@@ -254,6 +258,28 @@ func SelectBandwidth(x, y []float64, opts ...Option) (Selection, error) {
 		sel.Scores = r.Scores
 	}
 	return sel, nil
+}
+
+// validateSample rejects structurally invalid input at the public API
+// boundary — mismatched lengths, fewer than two observations, NaN or
+// ±Inf values — with a descriptive error instead of letting a non-finite
+// value poison every CV score and surface as an arbitrary selection.
+func validateSample(x, y []float64) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("kernreg: X has %d observations, Y has %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return fmt.Errorf("kernreg: need at least 2 observations, have %d", len(x))
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("kernreg: X[%d] = %g is not finite", i, v)
+		}
+		if w := y[i]; math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("kernreg: Y[%d] = %g is not finite", i, w)
+		}
+	}
+	return nil
 }
 
 func buildGrid(x []float64, c config) (bandwidth.Grid, error) {
