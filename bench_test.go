@@ -14,6 +14,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -148,6 +149,32 @@ func BenchmarkTableI_GoNative(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkSortedContextOverhead measures what the per-observation
+// ctx.Err() poll costs the sorted hot loop, by running the same search
+// through a live cancellable context (the kernregd service path). The
+// acceptance bound for the service work is < 3% at n=2,000 versus the
+// sorted/n=2000 case of BenchmarkTableI_GoNative.
+func BenchmarkSortedContextOverhead(b *testing.B) {
+	n := 2000
+	d, g := setup(b, n, benchK)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	b.Run(fmt.Sprintf("live-ctx/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bandwidth.SortedGridSearchKernelContext(ctx, d.X, d.Y, g, kernel.Epanechnikov); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("background/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bandwidth.SortedGridSearch(d.X, d.Y, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkTableIIA regenerates Table II Panel A: sequential run time as

@@ -1,0 +1,85 @@
+// Command kernregd serves the repository's bandwidth selectors over an
+// HTTP JSON API with a bounded worker pool, admission control, and
+// graceful shutdown.
+//
+// Usage:
+//
+//	kernregd -addr :8080 -workers 4 -queue 8 -timeout 30s
+//
+// Endpoints: POST /v1/select, POST /v1/fit-predict, GET /healthz,
+// GET /metrics. On SIGTERM or SIGINT the listener stops accepting,
+// in-flight and queued selections run to completion (bounded by
+// -drain-timeout), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 0, "selector worker goroutines (0 = GOMAXPROCS)")
+		queue        = flag.Int("queue", 0, "admission queue depth beyond in-flight (0 = 2×workers)")
+		timeout      = flag.Duration("timeout", 30*time.Second, "per-request compute deadline")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful shutdown budget")
+		maxN         = flag.Int("max-n", 0, "max observations per request (0 = 100000)")
+		maxGrid      = flag.Int("max-grid", 0, "max grid points per request (0 = 2048)")
+	)
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		Timeout:    *timeout,
+		MaxN:       *maxN,
+		MaxGrid:    *maxGrid,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "kernregd: listening on %s\n", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintf(os.Stderr, "kernregd: %v\n", err)
+		return 1
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "kernregd: %v, draining\n", sig)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Stop the listener first so no new work arrives, then drain the
+	// pool so every admitted selection completes.
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "kernregd: shutdown: %v\n", err)
+		return 1
+	}
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "kernregd: drain: %v\n", err)
+		return 1
+	}
+	fmt.Fprintln(os.Stderr, "kernregd: drained, exiting")
+	return 0
+}

@@ -1,6 +1,7 @@
 package bandwidth
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/kernel"
@@ -58,24 +59,42 @@ const llDetTol = 1e-8
 // local-linear estimator at a single bandwidth, O(n²). Non-positive h
 // scores +Inf.
 func CVScoreLocalLinear(x, y []float64, h float64, k kernel.Kind) float64 {
+	s, _ := cvScoreLocalLinearContext(context.Background(), x, y, h, k)
+	return s
+}
+
+// cvScoreLocalLinearContext is CVScoreLocalLinear with a cancellation
+// poll per observation; the check only early-exits, so a completed
+// evaluation is arithmetically identical.
+func cvScoreLocalLinearContext(ctx context.Context, x, y []float64, h float64, k kernel.Kind) (float64, error) {
 	if !(h > 0) {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	n := len(x)
 	var total float64
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		g, ok := looLocalLinear(x, y, i, h, k)
 		if ok {
 			r := y[i] - g
 			total += r * r
 		}
 	}
-	return total / float64(n)
+	return total / float64(n), nil
 }
 
 // NaiveGridSearchLocalLinear evaluates CVScoreLocalLinear independently
 // per grid point, for any kernel.
 func NaiveGridSearchLocalLinear(x, y []float64, g Grid, k kernel.Kind) (Result, error) {
+	return NaiveGridSearchLocalLinearContext(context.Background(), x, y, g, k)
+}
+
+// NaiveGridSearchLocalLinearContext is NaiveGridSearchLocalLinear with
+// cooperative cancellation at observation granularity. Cancellation
+// returns ctx.Err() and a zero Result.
+func NaiveGridSearchLocalLinearContext(ctx context.Context, x, y []float64, g Grid, k kernel.Kind) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
@@ -84,7 +103,11 @@ func NaiveGridSearchLocalLinear(x, y []float64, g Grid, k kernel.Kind) (Result, 
 	}
 	scores := make([]float64, g.Len())
 	for j, h := range g.H {
-		scores[j] = CVScoreLocalLinear(x, y, h, k)
+		s, err := cvScoreLocalLinearContext(ctx, x, y, h, k)
+		if err != nil {
+			return Result{}, err
+		}
+		scores[j] = s
 	}
 	return Best(g, scores), nil
 }
@@ -196,6 +219,13 @@ func localLinearSweep(absd, delta, yv []float64, yi float64, grid, scores []floa
 // analogue of SortedGridSearch, demonstrating that the paper's technique
 // is not specific to the local-constant estimator.
 func SortedGridSearchLocalLinear(x, y []float64, g Grid) (Result, error) {
+	return SortedGridSearchLocalLinearContext(context.Background(), x, y, g)
+}
+
+// SortedGridSearchLocalLinearContext is SortedGridSearchLocalLinear with
+// cooperative cancellation, polled once per observation like the
+// local-constant sorted search.
+func SortedGridSearchLocalLinearContext(ctx context.Context, x, y []float64, g Grid) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
@@ -206,6 +236,9 @@ func SortedGridSearchLocalLinear(x, y []float64, g Grid) (Result, error) {
 	scores := make([]float64, g.Len())
 	ws := newLLWorkspace(n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		ws.fill(x, y, i)
 		localLinearSweep(ws.absd, ws.delta, ws.yv, y[i], g.H, scores)
 	}

@@ -1,6 +1,7 @@
 package bandwidth
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,12 +15,24 @@ import (
 // paper. A non-positive h returns +Inf so optimisers treat it as
 // infeasible rather than crashing.
 func CVScore(x, y []float64, h float64, k kernel.Kind) float64 {
+	s, _ := cvScoreContext(context.Background(), x, y, h, k)
+	return s
+}
+
+// cvScoreContext is CVScore with a cancellation poll per observation —
+// each observation costs an O(n) inner loop, so a cancelled caller is
+// noticed within one row's work. The check only early-exits; a completed
+// evaluation is arithmetically identical to CVScore.
+func cvScoreContext(ctx context.Context, x, y []float64, h float64, k kernel.Kind) (float64, error) {
 	if !(h > 0) {
-		return math.Inf(1)
+		return math.Inf(1), nil
 	}
 	n := len(x)
 	var total float64
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		var num, den float64
 		xi := x[i]
 		for l := 0; l < n; l++ {
@@ -35,7 +48,7 @@ func CVScore(x, y []float64, h float64, k kernel.Kind) float64 {
 			total += d * d
 		}
 	}
-	return total / float64(n)
+	return total / float64(n), nil
 }
 
 // NaiveGridSearch evaluates CVScore independently for every grid
@@ -43,6 +56,14 @@ func CVScore(x, y []float64, h float64, k kernel.Kind) float64 {
 // and returns the arg-min. It works with any kernel, which is why it also
 // serves as the reference implementation in agreement tests.
 func NaiveGridSearch(x, y []float64, g Grid, k kernel.Kind) (Result, error) {
+	return NaiveGridSearchContext(context.Background(), x, y, g, k)
+}
+
+// NaiveGridSearchContext is NaiveGridSearch with cooperative
+// cancellation at observation granularity (each grid point's O(n²)
+// evaluation polls ctx once per observation). Cancellation returns
+// ctx.Err() and a zero Result, never a partial selection.
+func NaiveGridSearchContext(ctx context.Context, x, y []float64, g Grid, k kernel.Kind) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
@@ -51,7 +72,11 @@ func NaiveGridSearch(x, y []float64, g Grid, k kernel.Kind) (Result, error) {
 	}
 	scores := make([]float64, g.Len())
 	for j, h := range g.H {
-		scores[j] = CVScore(x, y, h, k)
+		s, err := cvScoreContext(ctx, x, y, h, k)
+		if err != nil {
+			return Result{}, err
+		}
+		scores[j] = s
 	}
 	return Best(g, scores), nil
 }

@@ -1,6 +1,7 @@
 package bandwidth
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -160,6 +161,17 @@ func SortedGridSearch(x, y []float64, g Grid) (Result, error) {
 // (Epanechnikov, Uniform, Triangular — the set the paper's footnote 1
 // identifies).
 func SortedGridSearchKernel(x, y []float64, g Grid, k kernel.Kind) (Result, error) {
+	return SortedGridSearchKernelContext(context.Background(), x, y, g, k)
+}
+
+// SortedGridSearchKernelContext is SortedGridSearchKernel with
+// cooperative cancellation: ctx is polled once per observation (each
+// observation costs an O(n log n) sort plus an O(n + k) sweep, so a
+// cancelled caller is noticed within one row's work). Cancellation
+// returns ctx.Err() and a zero Result — never a partial selection — and
+// the check only early-exits, so the float arithmetic of a completed
+// search is bit-identical to the uncancellable entry point.
+func SortedGridSearchKernelContext(ctx context.Context, x, y []float64, g Grid, k kernel.Kind) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
@@ -174,6 +186,9 @@ func SortedGridSearchKernel(x, y []float64, g Grid, k kernel.Kind) (Result, erro
 	scores := make([]float64, g.Len())
 	ws := newSortedWorkspace(n)
 	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		ws.fill(x, y, i)
 		sweep(ws.absd, ws.yv, y[i], g.H, scores)
 	}
@@ -190,10 +205,22 @@ func SortedGridSearchKernel(x, y []float64, g Grid, k kernel.Kind) (Result, erro
 // map/reduce structure as the CUDA program, realised with host threads.
 // workers <= 0 selects GOMAXPROCS.
 func SortedGridSearchParallel(x, y []float64, g Grid, workers int) (Result, error) {
+	return SortedGridSearchParallelContext(context.Background(), x, y, g, workers)
+}
+
+// SortedGridSearchParallelContext is SortedGridSearchParallel with
+// cooperative cancellation: every worker polls ctx once per observation
+// and bails out of its stride, so a cancelled caller frees all workers
+// within one row's work each. The reduction is skipped on cancellation
+// and ctx.Err() is returned with a zero Result.
+func SortedGridSearchParallelContext(ctx context.Context, x, y []float64, g Grid, workers int) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
 	if err := g.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	if workers <= 0 {
@@ -216,12 +243,18 @@ func SortedGridSearchParallel(x, y []float64, g Grid, workers int) (Result, erro
 			// Strided assignment balances load when sample density
 			// varies across the X range.
 			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					return
+				}
 				ws.fill(x, y, i)
 				epanechnikovSweep(ws.absd, ws.yv, y[i], g.H, scores)
 			}
 		}(w)
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
 	scores := make([]float64, k)
 	for _, p := range partial {
 		for j, v := range p {

@@ -17,6 +17,7 @@
 package baselines
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -129,14 +130,31 @@ func cvObjective(x, y []float64, k kernel.Kind, evals *int) optimize.Objective {
 // SelectNumerical is Program 1: single-threaded numerical optimisation of
 // the naive CV objective.
 func SelectNumerical(x, y []float64, opt Options) (Result, error) {
+	return SelectNumericalContext(context.Background(), x, y, opt)
+}
+
+// SelectNumericalContext is SelectNumerical with cooperative
+// cancellation, polled once per objective evaluation (each one an O(n²)
+// pass, the natural quantum of this selector). After cancellation every
+// remaining evaluation short-circuits to +Inf, so the optimiser's
+// bounded iteration winds down immediately and ctx.Err() is returned
+// with a zero Result — never a partial selection.
+func SelectNumericalContext(ctx context.Context, x, y []float64, opt Options) (Result, error) {
 	if err := check(x, y); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	lo, hi := opt.bracket(x)
 	tol := opt.tolerance(lo, hi)
 	evals := 0
-	f := cvObjective(x, y, opt.Kernel, &evals)
+	inner := cvObjective(x, y, opt.Kernel, &evals)
+	f, cancelled := cancellableObjective(ctx, inner)
 	r, err := runStarts(f, lo, hi, tol, opt)
+	if cerr := *cancelled; cerr != nil {
+		return Result{}, cerr
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -148,7 +166,16 @@ func SelectNumerical(x, y []float64, opt Options) (Result, error) {
 // program's structure (parallel over observations inside one evaluation,
 // sequential across optimiser iterations, which are inherently serial).
 func SelectNumericalParallel(x, y []float64, opt Options) (Result, error) {
+	return SelectNumericalParallelContext(context.Background(), x, y, opt)
+}
+
+// SelectNumericalParallelContext is SelectNumericalParallel with the
+// same per-evaluation cancellation as SelectNumericalContext.
+func SelectNumericalParallelContext(ctx context.Context, x, y []float64, opt Options) (Result, error) {
 	if err := check(x, y); err != nil {
+		return Result{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
 	workers := opt.Workers
@@ -158,15 +185,38 @@ func SelectNumericalParallel(x, y []float64, opt Options) (Result, error) {
 	lo, hi := opt.bracket(x)
 	tol := opt.tolerance(lo, hi)
 	evals := 0
-	f := func(h float64) float64 {
+	inner := func(h float64) float64 {
 		evals++
 		return naiveCV(x, y, h, opt.Kernel, workers)
 	}
+	f, cancelled := cancellableObjective(ctx, inner)
 	r, err := runStarts(f, lo, hi, tol, opt)
+	if cerr := *cancelled; cerr != nil {
+		return Result{}, cerr
+	}
 	if err != nil {
 		return Result{}, err
 	}
 	return Result{H: r.X, CV: r.F, Evals: evals}, nil
+}
+
+// cancellableObjective wraps an objective so that once ctx is cancelled,
+// no further O(n²) evaluation runs: the wrapper latches the context
+// error and returns +Inf, which every supported optimiser treats as
+// infeasible and drives to a quick, bounded exit. The latched error is
+// reported through the returned pointer.
+func cancellableObjective(ctx context.Context, f optimize.Objective) (optimize.Objective, *error) {
+	var cancelled error
+	wrapped := func(h float64) float64 {
+		if cancelled == nil {
+			cancelled = ctx.Err()
+		}
+		if cancelled != nil {
+			return math.Inf(1)
+		}
+		return f(h)
+	}
+	return wrapped, &cancelled
 }
 
 // runStarts runs the configured optimiser from the configured number of

@@ -1,0 +1,159 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/bandwidth"
+)
+
+// Cancellation conformance: every registered selector must honour
+// context cancellation — a pre-cancelled context, an already-expired
+// deadline, and a context that trips mid-flight must all surface the
+// context error promptly and must never return a partial Result.
+
+// tripwireCtx is a context whose Err() flips to context.Canceled after
+// a fixed number of Err() calls. Its Done() channel is nil (never
+// closed), so it also verifies that the hot loops *poll* Err() rather
+// than select on Done() — the polling contract the selectors document.
+type tripwireCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func newTripwire(after int) *tripwireCtx {
+	return &tripwireCtx{Context: context.Background(), after: int64(after)}
+}
+
+func (c *tripwireCtx) Err() error {
+	if c.calls.Add(1) > c.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+// cancelDataset picks the corpus dataset used for the cancellation
+// battery: paper-64 is large enough that every selector polls ctx
+// several times, and small enough that even an uncancelled run is fast.
+func cancelDataset(t *testing.T) (Dataset, bandwidth.Grid) {
+	t.Helper()
+	for _, d := range Corpus() {
+		if d.Name == "paper-64" {
+			g, err := d.Grid()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d, g
+		}
+	}
+	t.Fatal("paper-64 missing from corpus")
+	return Dataset{}, bandwidth.Grid{}
+}
+
+// assertCancelled checks the contract for a cancelled run: the context
+// error comes back (not swallowed, not wrapped beyond errors.Is reach)
+// and the Result is the zero value — no partial selection leaks.
+func assertCancelled(t *testing.T, r bandwidth.Result, err error, want error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("run returned nil error, want %v", want)
+	}
+	if !errors.Is(err, want) {
+		t.Fatalf("run returned %v, want errors.Is(err, %v)", err, want)
+	}
+	if r.H != 0 || r.CV != 0 || r.Index != 0 || r.Scores != nil {
+		t.Fatalf("cancelled run leaked a partial result: %+v", r)
+	}
+}
+
+// runCapped runs the selector and fails the test if it does not return
+// within a generous wall-clock cap — "promptly" here means seconds, not
+// the minutes a full uncancellable computation could take on a loaded
+// CI machine.
+func runCapped(t *testing.T, s Selector, ctx context.Context, d Dataset, g bandwidth.Grid) (bandwidth.Result, error) {
+	t.Helper()
+	type outcome struct {
+		r   bandwidth.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		r, err := s.Run(ctx, d.X, d.Y, g)
+		ch <- outcome{r, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.r, o.err
+	case <-time.After(30 * time.Second):
+		t.Fatalf("%s: cancelled run did not return within 30s", s.Name)
+		return bandwidth.Result{}, nil
+	}
+}
+
+func TestCancellationConformance(t *testing.T) {
+	d, g := cancelDataset(t)
+	for _, s := range Registry() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			t.Parallel()
+			t.Run("pre-cancelled", func(t *testing.T) {
+				ctx, cancel := context.WithCancel(context.Background())
+				cancel()
+				r, err := runCapped(t, s, ctx, d, g)
+				assertCancelled(t, r, err, context.Canceled)
+			})
+			t.Run("expired-deadline", func(t *testing.T) {
+				ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+				defer cancel()
+				r, err := runCapped(t, s, ctx, d, g)
+				assertCancelled(t, r, err, context.DeadlineExceeded)
+			})
+			t.Run("mid-flight", func(t *testing.T) {
+				// The tripwire lets the first few polls through, so the
+				// selector is genuinely inside its hot loop when Err()
+				// flips — every registered backend polls at least four
+				// times on paper-64 (observation, chunk, or evaluation
+				// granularity).
+				tw := newTripwire(3)
+				r, err := runCapped(t, s, tw, d, g)
+				assertCancelled(t, r, err, context.Canceled)
+				if n := tw.calls.Load(); n <= 3 {
+					t.Fatalf("tripwire saw only %d Err() polls; selector never reached its hot loop", n)
+				}
+			})
+		})
+	}
+}
+
+// TestCancellationIsHarmlessWhenUnused pins the satellite requirement
+// that adding cancellation did not perturb results: a never-cancelled
+// explicit context must select bit-identically to the background-ctx
+// delegating wrappers the agreement matrix runs.
+func TestCancellationIsHarmlessWhenUnused(t *testing.T) {
+	d, g := cancelDataset(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, s := range Registry() {
+		if s.Class == Continuum {
+			// The numerical baseline's optimiser trajectory is
+			// deterministic too, but comparing through the float64
+			// objective is what the matrix does; skip duplicating it.
+			continue
+		}
+		base, err := s.Run(context.Background(), d.X, d.Y, g)
+		if err != nil {
+			t.Fatalf("%s background run: %v", s.Name, err)
+		}
+		got, err := s.Run(ctx, d.X, d.Y, g)
+		if err != nil {
+			t.Fatalf("%s live-ctx run: %v", s.Name, err)
+		}
+		if got.H != base.H || got.CV != base.CV || got.Index != base.Index {
+			t.Fatalf("%s: live-ctx result %+v differs from background result %+v", s.Name, got, base)
+		}
+	}
+}

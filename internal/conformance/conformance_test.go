@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -149,7 +150,7 @@ func TestSelectorsRaceFree(t *testing.T) {
 			wg.Add(1)
 			go func(s Selector) {
 				defer wg.Done()
-				if _, err := s.Run(d.X, d.Y, g); err != nil {
+				if _, err := s.Run(context.Background(), d.X, d.Y, g); err != nil {
 					t.Errorf("%s: %v", s.Name, err)
 				}
 			}(s)

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -170,7 +171,7 @@ func RunAll(opt Options) (Matrix, error) {
 		oracles := make(map[Family]bandwidth.Result)
 		for _, fam := range []Family{LocalConstant, LocalLinear} {
 			o := oracleFor(fam)
-			r, err := o.Run(d.X, d.Y, g)
+			r, err := o.Run(context.Background(), d.X, d.Y, g)
 			if err != nil {
 				return Matrix{}, fmt.Errorf("conformance: oracle %s failed on %s: %w", o.Name, d.Name, err)
 			}
@@ -196,7 +197,7 @@ func runCell(s Selector, d Dataset, g bandwidth.Grid, oracle bandwidth.Result) C
 		cell.Detail = fmt.Sprintf("k=%d below backend minimum %d", d.K, s.MinK)
 		return cell
 	}
-	got, err := s.Run(d.X, d.Y, g)
+	got, err := s.Run(context.Background(), d.X, d.Y, g)
 	if err != nil {
 		cell.Status = Fail
 		cell.Detail = fmt.Sprintf("selector error: %v", err)

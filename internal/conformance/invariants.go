@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -158,7 +159,7 @@ func checkOneInvariant(s Selector, inv Invariant, d Dataset, g bandwidth.Grid) I
 		res.Detail = "continuum search trajectory is not invariant under this transform"
 		return res
 	}
-	base, err := s.Run(d.X, d.Y, g)
+	base, err := s.Run(context.Background(), d.X, d.Y, g)
 	if err != nil {
 		res.Status = Fail
 		res.Detail = fmt.Sprintf("base run error: %v", err)
@@ -167,7 +168,7 @@ func checkOneInvariant(s Selector, inv Invariant, d Dataset, g bandwidth.Grid) I
 	// A deterministic per-cell seed keeps the permutation reproducible.
 	rng := rand.New(rand.NewSource(int64(len(d.Name)*1000 + len(s.Name))))
 	tx, ty, tg, hScale := inv.Transform(d.X, d.Y, g, rng)
-	trans, err := s.Run(tx, ty, tg)
+	trans, err := s.Run(context.Background(), tx, ty, tg)
 	if err != nil {
 		res.Status = Fail
 		res.Detail = fmt.Sprintf("transformed run error: %v", err)

@@ -30,6 +30,8 @@
 package conformance
 
 import (
+	"context"
+
 	"repro/internal/bandwidth"
 	"repro/internal/baselines"
 	"repro/internal/core"
@@ -115,7 +117,11 @@ type Selector struct {
 	MinK int
 	// Run executes one selection. Implementations must not mutate x, y
 	// or g (the engine runs selectors concurrently in the race tests).
-	Run func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error)
+	// Adapters pass ctx straight through to the backend (or poll it at
+	// entry for backends without a context-aware variant); they must not
+	// derive a new context from it, so that the cancellation conformance
+	// tests can observe exactly the ctx they hand in.
+	Run func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error)
 }
 
 // Registry returns every registered selector adapter. The naive float64
@@ -126,20 +132,30 @@ func Registry() []Selector {
 	return []Selector{
 		{
 			Name: "naive", Class: Exact, Family: LocalConstant, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				return bandwidth.NaiveGridSearch(x, y, g, kernel.Epanechnikov)
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.NaiveGridSearchContext(ctx, x, y, g, kernel.Epanechnikov)
 			},
 		},
 		{
 			Name: "sorted", Class: Exact, Family: LocalConstant, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				return bandwidth.SortedGridSearchKernel(x, y, g, kernel.Epanechnikov)
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.SortedGridSearchKernelContext(ctx, x, y, g, kernel.Epanechnikov)
+			},
+		},
+		{
+			// sorted-ctx exercises the context-aware entry point directly
+			// (the "sorted" adapter above reaches the same code, but this
+			// pins the exported Context variant into the agreement matrix
+			// so a divergence in the delegation shim cannot hide).
+			Name: "sorted-ctx", Class: Exact, Family: LocalConstant, MinN: 2,
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.SortedGridSearchKernelContext(ctx, x, y, g, kernel.Epanechnikov)
 			},
 		},
 		{
 			Name: "sorted-parallel", Class: Exact, Family: LocalConstant, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				return bandwidth.SortedGridSearchParallel(x, y, g, 4)
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.SortedGridSearchParallelContext(ctx, x, y, g, 4)
 			},
 		},
 		{
@@ -152,20 +168,20 @@ func Registry() []Selector {
 		},
 		{
 			Name: "sorted-f32", Class: Float32, Family: LocalConstant, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				return core.SortedSequential(x, y, g)
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return core.SortedSequentialContext(ctx, x, y, g)
 			},
 		},
 		{
 			Name: "gpu", Class: Float32, Family: LocalConstant, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				r, _, err := core.SelectGPU(x, y, g, core.GPUOptions{KeepScores: true})
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				r, _, err := core.SelectGPUContext(ctx, x, y, g, core.GPUOptions{KeepScores: true})
 				return r, err
 			},
 		},
 		{
 			Name: "gpu-tiled", Class: Float32, Family: LocalConstant, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
 				// A small fixed chunk forces multiple kernel launches so the
 				// scratch-reuse path is genuinely exercised, not just the
 				// degenerate chunk == n case autoChunk picks on a 4 GB card.
@@ -173,33 +189,33 @@ func Registry() []Selector {
 				if n := len(x); chunk > n {
 					chunk = n
 				}
-				r, _, _, err := core.SelectGPUTiled(x, y, g, core.TiledOptions{ChunkSize: chunk, KeepScores: true})
+				r, _, _, err := core.SelectGPUTiledContext(ctx, x, y, g, core.TiledOptions{ChunkSize: chunk, KeepScores: true})
 				return r, err
 			},
 		},
 		{
 			Name: "gpu-multi", Class: Float32, Family: LocalConstant, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				r, err := core.SelectGPUMulti(x, y, g, 3, core.GPUOptions{KeepScores: true})
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				r, err := core.SelectGPUMultiContext(ctx, x, y, g, 3, core.GPUOptions{KeepScores: true})
 				return r.Result, err
 			},
 		},
 		{
 			Name: "ll-naive", Class: Exact, Family: LocalLinear, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				return bandwidth.NaiveGridSearchLocalLinear(x, y, g, kernel.Epanechnikov)
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.NaiveGridSearchLocalLinearContext(ctx, x, y, g, kernel.Epanechnikov)
 			},
 		},
 		{
 			Name: "ll-sorted", Class: Exact, Family: LocalLinear, MinN: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				return bandwidth.SortedGridSearchLocalLinear(x, y, g)
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.SortedGridSearchLocalLinearContext(ctx, x, y, g)
 			},
 		},
 		{
 			Name: "numerical", Class: Continuum, Family: LocalConstant, MinN: 3, MinK: 2,
-			Run: func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-				r, err := baselines.SelectNumerical(x, y, baselines.Options{
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				r, err := baselines.SelectNumericalContext(ctx, x, y, baselines.Options{
 					Kernel: kernel.Epanechnikov,
 					Lo:     g.Min(),
 					Hi:     g.Max(),
@@ -218,9 +234,9 @@ func Registry() []Selector {
 // explicit [min, max], and kernreg.GridRange calls the same constructor
 // with the same arguments, so the public API runs on the bit-identical
 // grid — a prerequisite for exact index comparison.
-func runPublicAPI(m kernreg.Method) func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-	return func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
-		sel, err := kernreg.SelectBandwidth(x, y,
+func runPublicAPI(m kernreg.Method) func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+	return func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+		sel, err := kernreg.SelectBandwidthContext(ctx, x, y,
 			kernreg.WithMethod(m),
 			kernreg.GridSize(g.Len()),
 			kernreg.GridRange(g.Min(), g.Max()),

@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bandwidth"
@@ -63,6 +64,15 @@ func (s Selector) String() string {
 // correctness protocol, the sequential and device programs can be checked
 // against each other for identical per-observation residuals.
 func SortedSequential(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+	return SortedSequentialContext(context.Background(), x, y, g)
+}
+
+// SortedSequentialContext is SortedSequential with cooperative
+// cancellation, polled once per observation (one row's fill + sort +
+// sweep). Cancellation returns ctx.Err() and a zero Result; the check
+// only early-exits, leaving the float32 arithmetic of a completed run
+// bit-identical.
+func SortedSequentialContext(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
 	if err := checkInputs(x, y, g); err != nil {
 		return bandwidth.Result{}, err
 	}
@@ -75,6 +85,9 @@ func SortedSequential(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error
 	absRow := make([]float32, n)
 	yRow := make([]float32, n)
 	for j := 0; j < n; j++ {
+		if err := ctx.Err(); err != nil {
+			return bandwidth.Result{}, err
+		}
 		fillRow(xs, ys, j, absRow, yRow)
 		cuda.DeviceQuickSort(absRow, yRow)
 		accumulateRow(absRow, yRow, ys[j], hs, scores)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -81,7 +82,22 @@ type GPUReport struct {
 //     reduction, both Harris-style single-block trees;
 //  4. copy the winner back.
 func SelectGPU(x, y []float64, g bandwidth.Grid, opt GPUOptions) (bandwidth.Result, *GPUReport, error) {
+	return SelectGPUContext(context.Background(), x, y, g, opt)
+}
+
+// SelectGPUContext is SelectGPU with cooperative cancellation at the
+// pipeline-stage boundaries the host controls: before the upload, before
+// the main kernel, and once per reduction launch (the k summation
+// reductions dominate the post-kernel host loop). A single simulated
+// kernel launch is atomic — exactly as a real CUDA launch is — so
+// cancellation granularity inside the device is one launch; the tiled
+// pipeline offers finer per-chunk cancellation. Cancellation returns
+// ctx.Err() and a zero Result.
+func SelectGPUContext(ctx context.Context, x, y []float64, g bandwidth.Grid, opt GPUOptions) (bandwidth.Result, *GPUReport, error) {
 	if err := checkInputs(x, y, g); err != nil {
+		return bandwidth.Result{}, nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return bandwidth.Result{}, nil, err
 	}
 	opt = opt.withDefaults()
@@ -115,6 +131,9 @@ func SelectGPU(x, y []float64, g bandwidth.Grid, opt GPUOptions) (bandwidth.Resu
 		return bandwidth.Result{}, nil, err
 	}
 
+	if err := ctx.Err(); err != nil {
+		return bandwidth.Result{}, nil, err
+	}
 	mainTally, err := launchMainKernel(dev, bufs, bwSym, n, k, opt.BlockDim, opt.NoIndexSwitch, opt.Kernel)
 	if err != nil {
 		return bandwidth.Result{}, nil, err
@@ -124,6 +143,9 @@ func SelectGPU(x, y []float64, g bandwidth.Grid, opt GPUOptions) (bandwidth.Resu
 	// reduction is performed k times, once for each bandwidth").
 	redDim := reduceDim(opt.ReduceDim, n)
 	for jh := 0; jh < k; jh++ {
+		if err := ctx.Err(); err != nil {
+			return bandwidth.Result{}, nil, err
+		}
 		if opt.NoIndexSwitch {
 			err = cuda.SumReduceStrided(dev, bufs.dResid, jh, n, k, bufs.dCV, jh, redDim)
 		} else {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bandwidth"
@@ -33,7 +34,18 @@ type MultiGPUResult struct {
 // simulated GPUs. devices ≤ 1 falls back to a single device (but still
 // returns the MultiGPUResult shape).
 func SelectGPUMulti(x, y []float64, g bandwidth.Grid, devices int, opt GPUOptions) (MultiGPUResult, error) {
+	return SelectGPUMultiContext(context.Background(), x, y, g, devices, opt)
+}
+
+// SelectGPUMultiContext is SelectGPUMulti with cooperative cancellation
+// at device-share granularity: ctx is polled before each device's share
+// of the pipeline runs, and inside each share once per reduction launch.
+// Cancellation returns ctx.Err() and a zero MultiGPUResult.
+func SelectGPUMultiContext(ctx context.Context, x, y []float64, g bandwidth.Grid, devices int, opt GPUOptions) (MultiGPUResult, error) {
 	if err := checkInputs(x, y, g); err != nil {
+		return MultiGPUResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return MultiGPUResult{}, err
 	}
 	if devices < 1 {
@@ -51,6 +63,9 @@ func SelectGPUMulti(x, y []float64, g bandwidth.Grid, devices int, opt GPUOption
 	secs := make([]float64, devices)
 	peaks := make([]int64, devices)
 	for d := 0; d < devices; d++ {
+		if err := ctx.Err(); err != nil {
+			return MultiGPUResult{}, err
+		}
 		start := d * share
 		count := share
 		if start+count > n {
@@ -60,8 +75,11 @@ func SelectGPUMulti(x, y []float64, g bandwidth.Grid, devices int, opt GPUOption
 			partial[d] = make([]float32, k)
 			continue
 		}
-		sums, sec, peak, err := runDeviceShare(x, y, g, start, count, opt)
+		sums, sec, peak, err := runDeviceShare(ctx, x, y, g, start, count, opt)
 		if err != nil {
+			if ctx.Err() != nil {
+				return MultiGPUResult{}, ctx.Err()
+			}
 			return MultiGPUResult{}, fmt.Errorf("device %d: %w", d, err)
 		}
 		partial[d], secs[d], peaks[d] = sums, sec, peak
@@ -101,7 +119,7 @@ func SelectGPUMulti(x, y []float64, g bandwidth.Grid, devices int, opt GPUOption
 
 // runDeviceShare executes one device's share [start, start+count) of the
 // pipeline and returns its per-bandwidth partial residual sums.
-func runDeviceShare(x, y []float64, g bandwidth.Grid, start, count int, opt GPUOptions) ([]float32, float64, int64, error) {
+func runDeviceShare(ctx context.Context, x, y []float64, g bandwidth.Grid, start, count int, opt GPUOptions) ([]float32, float64, int64, error) {
 	dev, err := gpu.NewDevice(opt.Props, gpu.Functional)
 	if err != nil {
 		return nil, 0, 0, err
@@ -230,6 +248,9 @@ func runDeviceShare(x, y []float64, g bandwidth.Grid, start, count int, opt GPUO
 	}
 	redDim := reduceDim(opt.ReduceDim, count)
 	for jh := 0; jh < k; jh++ {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, 0, err
+		}
 		if err := cuda.SumReduce(dev, dResid, jh*count, count, dCV, jh, redDim); err != nil {
 			return nil, 0, 0, err
 		}

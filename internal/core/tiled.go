@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bandwidth"
@@ -64,7 +65,20 @@ func autoChunk(n, k int, props gpu.Properties) (int, error) {
 // identical to SelectGPU: the per-observation arithmetic is unchanged,
 // only scratch reuse differs.
 func SelectGPUTiled(x, y []float64, g bandwidth.Grid, opt TiledOptions) (bandwidth.Result, *GPUReport, int, error) {
+	return SelectGPUTiledContext(context.Background(), x, y, g, opt)
+}
+
+// SelectGPUTiledContext is SelectGPUTiled with cooperative cancellation
+// at tile granularity: ctx is polled before every chunk launch (each
+// chunk is C observations of device work) and once per reduction, so
+// the ⌈n/C⌉-launch structure that fixes the memory wall also bounds the
+// cancellation latency. Cancellation returns ctx.Err() and a zero
+// Result.
+func SelectGPUTiledContext(ctx context.Context, x, y []float64, g bandwidth.Grid, opt TiledOptions) (bandwidth.Result, *GPUReport, int, error) {
 	if err := checkInputs(x, y, g); err != nil {
+		return bandwidth.Result{}, nil, 0, err
+	}
+	if err := ctx.Err(); err != nil {
 		return bandwidth.Result{}, nil, 0, err
 	}
 	opt = opt.withDefaults()
@@ -102,6 +116,9 @@ func SelectGPUTiled(x, y []float64, g bandwidth.Grid, opt TiledOptions) (bandwid
 
 	var mainTally gpu.Tally
 	for start := 0; start < n; start += chunk {
+		if err := ctx.Err(); err != nil {
+			return bandwidth.Result{}, nil, 0, err
+		}
 		count := chunk
 		if start+count > n {
 			count = n - start
@@ -115,6 +132,9 @@ func SelectGPUTiled(x, y []float64, g bandwidth.Grid, opt TiledOptions) (bandwid
 
 	redDim := reduceDim(opt.Props.MaxThreadsPerBlock, n)
 	for jh := 0; jh < k; jh++ {
+		if err := ctx.Err(); err != nil {
+			return bandwidth.Result{}, nil, 0, err
+		}
 		if err := cuda.SumReduce(dev, bufs.dResid, jh*n, n, bufs.dCV, jh, redDim); err != nil {
 			return bandwidth.Result{}, nil, 0, err
 		}

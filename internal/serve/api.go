@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"repro/kernreg"
+)
+
+// HTTP JSON API. Routes (Go 1.22 method patterns):
+//
+//	POST /v1/select      — bandwidth selection
+//	POST /v1/fit-predict — selection (or given h) + prediction at points
+//	GET  /healthz        — liveness; 503 while draining
+//	GET  /metrics        — counters and latency histograms as JSON
+//
+// Error mapping: malformed or over-limit bodies → 400/413 before the
+// pool is involved; a full queue → 429; draining → 503; a request that
+// exceeds its compute deadline → 504.
+
+// SelectRequest is the body of POST /v1/select.
+type SelectRequest struct {
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+	// Method names the search algorithm (kernreg.ParseMethod); empty
+	// means "sorted".
+	Method string `json:"method,omitempty"`
+	// Kernel names the kernel function; empty means "epanechnikov".
+	Kernel string `json:"kernel,omitempty"`
+	// GridSize is the number of candidate bandwidths; 0 means 50.
+	GridSize int `json:"grid_size,omitempty"`
+	// GridMin/GridMax override the paper's default grid range when both
+	// are set.
+	GridMin float64 `json:"grid_min,omitempty"`
+	GridMax float64 `json:"grid_max,omitempty"`
+	// KeepScores returns CV(h) for every grid point.
+	KeepScores bool `json:"keep_scores,omitempty"`
+}
+
+// SelectResponse is the body of a successful /v1/select.
+type SelectResponse struct {
+	Bandwidth float64 `json:"bandwidth"`
+	// CV is null when the score is not finite (degenerate samples).
+	CV        *float64   `json:"cv"`
+	Index     int        `json:"index"`
+	Method    string     `json:"method"`
+	N         int        `json:"n"`
+	Scores    []*float64 `json:"scores,omitempty"`
+	ElapsedMs float64    `json:"elapsed_ms"`
+}
+
+// FitPredictRequest is the body of POST /v1/fit-predict.
+type FitPredictRequest struct {
+	X []float64 `json:"x"`
+	Y []float64 `json:"y"`
+	// Bandwidth fixes h; 0 selects it first with the sorted search.
+	Bandwidth float64 `json:"bandwidth,omitempty"`
+	// Kernel names the kernel function; empty means "epanechnikov".
+	Kernel string `json:"kernel,omitempty"`
+	// Points are the locations to predict at.
+	Points []float64 `json:"points"`
+}
+
+// FitPredictResponse is the body of a successful /v1/fit-predict.
+type FitPredictResponse struct {
+	Bandwidth float64 `json:"bandwidth"`
+	// Predictions align with Points; null where no observation carries
+	// weight (the estimate is undefined there).
+	Predictions []*float64 `json:"predictions"`
+	ElapsedMs   float64    `json:"elapsed_ms"`
+}
+
+// httpError is a decode/validation failure with its HTTP status. The
+// fuzz target asserts every decode failure is 4xx — encoding the status
+// in the type keeps that property checkable without a running server.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+func tooLarge(format string, args ...any) *httpError {
+	return &httpError{status: http.StatusRequestEntityTooLarge, msg: fmt.Sprintf(format, args...)}
+}
+
+// decodeJSON decodes exactly one strict JSON object from body.
+func decodeJSON(body io.Reader, dst any) *httpError {
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return badRequest("invalid JSON body: %v", err)
+	}
+	if dec.More() {
+		return badRequest("invalid JSON body: trailing data after object")
+	}
+	return nil
+}
+
+// checkSample validates the common x/y constraints against the limits.
+func checkSample(x, y []float64, cfg Config) *httpError {
+	if len(x) != len(y) {
+		return badRequest("x has %d observations, y has %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return badRequest("need at least 2 observations, have %d", len(x))
+	}
+	if len(x) > cfg.MaxN {
+		return tooLarge("n=%d exceeds the limit of %d observations", len(x), cfg.MaxN)
+	}
+	for i, v := range x {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return badRequest("x[%d] is not finite", i)
+		}
+	}
+	for i, v := range y {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return badRequest("y[%d] is not finite", i)
+		}
+	}
+	return nil
+}
+
+// decodeSelectRequest parses and validates a /v1/select body, returning
+// the kernreg options it maps to. All failures are 4xx by construction.
+func decodeSelectRequest(body io.Reader, cfg Config) (*SelectRequest, []kernreg.Option, *httpError) {
+	var req SelectRequest
+	if herr := decodeJSON(body, &req); herr != nil {
+		return nil, nil, herr
+	}
+	if herr := checkSample(req.X, req.Y, cfg); herr != nil {
+		return nil, nil, herr
+	}
+	var opts []kernreg.Option
+	if req.Method != "" {
+		m, err := kernreg.ParseMethod(req.Method)
+		if err != nil {
+			return nil, nil, badRequest("unknown method %q", req.Method)
+		}
+		opts = append(opts, kernreg.WithMethod(m))
+	}
+	if req.Kernel != "" {
+		opts = append(opts, kernreg.WithKernel(req.Kernel))
+	}
+	switch {
+	case req.GridSize < 0:
+		return nil, nil, badRequest("grid_size must be positive, got %d", req.GridSize)
+	case req.GridSize > cfg.MaxGrid:
+		return nil, nil, tooLarge("grid_size=%d exceeds the limit of %d", req.GridSize, cfg.MaxGrid)
+	case req.GridSize > 0:
+		opts = append(opts, kernreg.GridSize(req.GridSize))
+	}
+	if req.GridMin != 0 || req.GridMax != 0 {
+		if math.IsNaN(req.GridMin) || math.IsInf(req.GridMin, 0) || math.IsNaN(req.GridMax) || math.IsInf(req.GridMax, 0) {
+			return nil, nil, badRequest("grid range must be finite")
+		}
+		if !(req.GridMin > 0) || !(req.GridMax > req.GridMin) {
+			return nil, nil, badRequest("grid range requires 0 < grid_min < grid_max, got [%g, %g]", req.GridMin, req.GridMax)
+		}
+		opts = append(opts, kernreg.GridRange(req.GridMin, req.GridMax))
+	}
+	if req.KeepScores {
+		opts = append(opts, kernreg.KeepScores())
+	}
+	return &req, opts, nil
+}
+
+// decodeFitPredictRequest parses and validates a /v1/fit-predict body.
+func decodeFitPredictRequest(body io.Reader, cfg Config) (*FitPredictRequest, *httpError) {
+	var req FitPredictRequest
+	if herr := decodeJSON(body, &req); herr != nil {
+		return nil, herr
+	}
+	if herr := checkSample(req.X, req.Y, cfg); herr != nil {
+		return nil, herr
+	}
+	if math.IsNaN(req.Bandwidth) || math.IsInf(req.Bandwidth, 0) || req.Bandwidth < 0 {
+		return nil, badRequest("bandwidth must be a finite non-negative number")
+	}
+	if len(req.Points) == 0 {
+		return nil, badRequest("points must be non-empty")
+	}
+	if len(req.Points) > cfg.MaxN {
+		return nil, tooLarge("len(points)=%d exceeds the limit of %d", len(req.Points), cfg.MaxN)
+	}
+	for i, v := range req.Points {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, badRequest("points[%d] is not finite", i)
+		}
+	}
+	return &req, nil
+}
+
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/fit-predict", s.handleFitPredict)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// statusClientClosedRequest is nginx's conventional code for "client
+// disconnected before the response"; the write is best-effort since the
+// peer is gone, but the access log keeps the distinct status.
+const statusClientClosedRequest = 499
+
+// runJob admits fn into the pool and maps pool/selector errors to HTTP.
+// It returns false if the response has already been written.
+func (s *Server) runJob(w http.ResponseWriter, r *http.Request, method string, fn func(ctx context.Context) error) bool {
+	s.metrics.Requests.Add(1)
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+	defer cancel()
+	start := time.Now()
+	var jobErr error
+	submitErr := s.submit(ctx, func(ctx context.Context) {
+		jobErr = fn(ctx)
+	})
+	s.metrics.Latency[method].Observe(time.Since(start))
+	switch {
+	case errors.Is(submitErr, ErrQueueFull):
+		http.Error(w, submitErr.Error(), http.StatusTooManyRequests)
+		return false
+	case errors.Is(submitErr, ErrDraining):
+		http.Error(w, submitErr.Error(), http.StatusServiceUnavailable)
+		return false
+	}
+	switch {
+	case jobErr == nil:
+		return true
+	case errors.Is(jobErr, context.DeadlineExceeded):
+		s.metrics.Failures.Add(1)
+		http.Error(w, "selection exceeded the compute deadline", http.StatusGatewayTimeout)
+	case errors.Is(jobErr, context.Canceled):
+		s.metrics.Failures.Add(1)
+		http.Error(w, "client closed request", statusClientClosedRequest)
+	default:
+		// Anything else the selector rejects at this point is an input
+		// the decoder's structural checks cannot see (e.g. a degenerate
+		// domain for the grid builder) — still the client's data.
+		s.metrics.Failures.Add(1)
+		http.Error(w, jobErr.Error(), http.StatusBadRequest)
+	}
+	return false
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	req, opts, herr := decodeSelectRequest(r.Body, s.cfg)
+	if herr != nil {
+		s.metrics.Rejected.Add(1)
+		http.Error(w, herr.msg, herr.status)
+		return
+	}
+	start := time.Now()
+	var sel kernreg.Selection
+	ok := s.runJob(w, r, "select", func(ctx context.Context) error {
+		var err error
+		sel, err = kernreg.SelectBandwidthContext(ctx, req.X, req.Y, opts...)
+		return err
+	})
+	if !ok {
+		return
+	}
+	resp := SelectResponse{
+		Bandwidth: sel.Bandwidth,
+		CV:        finitePtr(sel.CV),
+		Index:     sel.Index,
+		Method:    sel.Method.String(),
+		N:         len(req.X),
+		ElapsedMs: float64(time.Since(start)) / float64(time.Millisecond),
+	}
+	if req.KeepScores {
+		resp.Scores = finiteSlice(sel.Scores)
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleFitPredict(w http.ResponseWriter, r *http.Request) {
+	req, herr := decodeFitPredictRequest(r.Body, s.cfg)
+	if herr != nil {
+		s.metrics.Rejected.Add(1)
+		http.Error(w, herr.msg, herr.status)
+		return
+	}
+	start := time.Now()
+	var resp FitPredictResponse
+	ok := s.runJob(w, r, "fit-predict", func(ctx context.Context) error {
+		h := req.Bandwidth
+		if h == 0 {
+			sel, err := kernreg.SelectBandwidthContext(ctx, req.X, req.Y)
+			if err != nil {
+				return err
+			}
+			h = sel.Bandwidth
+		}
+		kernelName := req.Kernel
+		if kernelName == "" {
+			kernelName = "epanechnikov"
+		}
+		reg, err := kernreg.FitKernel(req.X, req.Y, h, kernelName)
+		if err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp = FitPredictResponse{
+			Bandwidth:   h,
+			Predictions: finiteSlice(reg.PredictGrid(req.Points)),
+		}
+		return nil
+	})
+	if !ok {
+		return
+	}
+	resp.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		http.Error(w, `{"status":"draining"}`, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, `{"status":"ok"}`)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := s.metrics.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// finitePtr maps a non-finite float to JSON null — encoding/json
+// rejects NaN and ±Inf outright, and a degenerate sample can legally
+// produce them (e.g. a CV score over an empty leave-one-out window).
+func finitePtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func finiteSlice(vs []float64) []*float64 {
+	out := make([]*float64, len(vs))
+	for i, v := range vs {
+		out[i] = finitePtr(v)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics are per-Server expvar counters. They are deliberately *not*
+// published to the global expvar registry: expvar.Publish panics on
+// duplicate names, and the test battery creates many servers per
+// process. /metrics renders this struct directly instead.
+type Metrics struct {
+	// Requests counts admitted API calls per endpoint outcome.
+	Requests expvar.Int
+	// Shed counts requests rejected by admission control (429).
+	Shed expvar.Int
+	// Rejected counts malformed or over-limit requests (4xx before the
+	// pool is involved).
+	Rejected expvar.Int
+	// Failures counts requests that reached a selector and errored,
+	// including timeouts.
+	Failures expvar.Int
+
+	// Latency histograms per method ("select", "fit-predict"), covering
+	// queue wait plus compute.
+	Latency map[string]*Histogram
+
+	queueDepth func() int
+}
+
+func newMetrics() *Metrics {
+	return &Metrics{
+		Latency: map[string]*Histogram{
+			"select":      NewHistogram(),
+			"fit-predict": NewHistogram(),
+		},
+	}
+}
+
+// QueueDepth reports the number of admitted requests waiting for a
+// worker at this instant.
+func (m *Metrics) QueueDepth() int {
+	if m.queueDepth == nil {
+		return 0
+	}
+	return m.queueDepth()
+}
+
+// WriteJSON renders the metrics as one JSON object (the /metrics body).
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	out := map[string]any{
+		"requests":    m.Requests.Value(),
+		"shed":        m.Shed.Value(),
+		"rejected":    m.Rejected.Value(),
+		"failures":    m.Failures.Value(),
+		"queue_depth": m.QueueDepth(),
+	}
+	lat := map[string]json.RawMessage{}
+	for name, h := range m.Latency {
+		lat[name] = json.RawMessage(h.String())
+	}
+	out["latency"] = lat
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// latencyBounds are the histogram's upper bucket bounds. Selections
+// span five orders of magnitude (a 64-point toy request vs a 100k-point
+// naive search), so the buckets are roughly logarithmic.
+var latencyBounds = []time.Duration{
+	1 * time.Millisecond,
+	5 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2500 * time.Millisecond,
+	10 * time.Second,
+	30 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram safe for concurrent
+// Observe. It implements expvar.Var.
+type Histogram struct {
+	counts []atomic.Int64 // len(latencyBounds)+1; last bucket is +Inf
+	sumNs  atomic.Int64
+	n      atomic.Int64
+}
+
+// NewHistogram returns an empty histogram over latencyBounds.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make([]atomic.Int64, len(latencyBounds)+1)}
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	i := 0
+	for i < len(latencyBounds) && d > latencyBounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sumNs.Add(int64(d))
+	h.n.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.n.Load() }
+
+// String renders the histogram as JSON; this satisfies expvar.Var.
+func (h *Histogram) String() string {
+	buckets := map[string]int64{}
+	for i := range h.counts {
+		label := "+Inf"
+		if i < len(latencyBounds) {
+			label = latencyBounds[i].String()
+		}
+		if c := h.counts[i].Load(); c > 0 {
+			buckets["<="+label] = c
+		}
+	}
+	out := map[string]any{
+		"count":   h.n.Load(),
+		"sum_ms":  float64(h.sumNs.Load()) / float64(time.Millisecond),
+		"buckets": buckets,
+	}
+	b, err := json.Marshal(out)
+	if err != nil {
+		return fmt.Sprintf(`{"error":%q}`, err.Error())
+	}
+	return string(b)
+}

@@ -1,0 +1,183 @@
+// Package serve is the concurrency layer of the kernregd bandwidth
+// selection service: a bounded worker pool with admission control,
+// per-request deadline propagation into the selector hot loops, and a
+// graceful drain for shutdown.
+//
+// The design maps the paper's batch programs onto a long-running
+// service without letting concurrency distort the numerics: every
+// request runs one of the existing selectors unchanged (the pool only
+// decides *when* it runs), cancellation reaches the selector via the
+// context plumbing of kernreg.SelectBandwidthContext, and admission
+// control keeps the queue from growing past a configured depth —
+// excess load is shed with 429 rather than absorbed as unbounded
+// latency.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the number of selector goroutines; 0 means GOMAXPROCS.
+	// Each in-flight selection occupies one worker for its duration, so
+	// this bounds compute concurrency.
+	Workers int
+	// QueueDepth is how many admitted requests may wait for a worker
+	// beyond those already running; 0 means 2×Workers. A full queue
+	// sheds new requests with ErrQueueFull (HTTP 429).
+	QueueDepth int
+	// Timeout caps each request's compute time; 0 means 30s. The
+	// deadline propagates into the selector hot loop, so an expired
+	// request stops computing rather than running to completion.
+	Timeout time.Duration
+	// MaxN caps the observations per request; 0 means 100,000.
+	MaxN int
+	// MaxGrid caps the grid size per request; 0 means 2,048 (the
+	// simulated device's constant-memory limit).
+	MaxGrid int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 100_000
+	}
+	if c.MaxGrid <= 0 {
+		c.MaxGrid = 2048
+	}
+	return c
+}
+
+var (
+	// ErrQueueFull is returned when admission control sheds a request
+	// because the wait queue is at capacity. Maps to HTTP 429.
+	ErrQueueFull = errors.New("serve: queue full, request shed")
+	// ErrDraining is returned for requests arriving after Drain began.
+	// Maps to HTTP 503.
+	ErrDraining = errors.New("serve: server draining")
+)
+
+// job is one admitted unit of work. The worker runs fn with the
+// request's context and closes done; the submitting handler blocks on
+// done, so responses are written on the handler goroutine only.
+type job struct {
+	ctx  context.Context
+	fn   func(context.Context)
+	done chan struct{}
+}
+
+// Server is the worker pool plus its HTTP API.
+type Server struct {
+	cfg     Config
+	metrics *Metrics
+	mux     *http.ServeMux
+
+	// mu guards draining and orders submits against the close(jobs) in
+	// Drain: submitters hold the read lock across the draining check
+	// and the channel send, so a send can never race the close.
+	mu       sync.RWMutex
+	draining bool
+	jobs     chan *job
+	wg       sync.WaitGroup
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		jobs:    make(chan *job, cfg.QueueDepth),
+		metrics: newMetrics(),
+	}
+	s.metrics.queueDepth = func() int { return len(s.jobs) }
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	s.mux = s.routes()
+	return s
+}
+
+// Handler returns the HTTP API (see api.go for the routes).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters for tests and /metrics.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.jobs {
+		// fn handles a cancelled ctx itself (the selector's entry check
+		// returns immediately), so a request whose client vanished while
+		// queued costs the worker one ctx poll, not a full selection.
+		j.fn(j.ctx)
+		close(j.done)
+	}
+}
+
+// submit admits fn into the pool and blocks until the worker has run it
+// (or drained past it). It never runs fn on the calling goroutine.
+func (s *Server) submit(ctx context.Context, fn func(context.Context)) error {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	s.mu.RLock()
+	if s.draining {
+		s.mu.RUnlock()
+		return ErrDraining
+	}
+	select {
+	case s.jobs <- j:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		s.metrics.Shed.Add(1)
+		return ErrQueueFull
+	}
+	<-j.done
+	return nil
+}
+
+// Drain stops admission, lets the workers finish every queued and
+// in-flight job, and returns when the pool is idle or ctx expires.
+// Safe to call more than once.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	already := s.draining
+	s.draining = true
+	if !already {
+		close(s.jobs)
+	}
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Drain has begun (used by /healthz).
+func (s *Server) Draining() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.draining
+}

@@ -126,3 +126,24 @@ func TestSelectBandwidthMethodKernelMismatch(t *testing.T) {
 		t.Errorf("naive with gaussian: %v", err)
 	}
 }
+
+func TestWorkersRejectsNegative(t *testing.T) {
+	x := []float64{0.1, 0.4, 0.7, 0.9}
+	y := []float64{1, 2, 3, 4}
+	for _, n := range []int{-1, -8, math.MinInt} {
+		_, err := SelectBandwidth(x, y, WithMethod(MethodSortedParallel), Workers(n))
+		if err == nil {
+			t.Errorf("Workers(%d) accepted a negative worker count", n)
+			continue
+		}
+		if !strings.Contains(err.Error(), "non-negative") {
+			t.Errorf("Workers(%d) error %q lacks context", n, err)
+		}
+	}
+	// 0 (auto) and explicit positive counts remain valid.
+	for _, n := range []int{0, 1, 2, 8} {
+		if _, err := SelectBandwidth(x, y, WithMethod(MethodSortedParallel), Workers(n)); err != nil {
+			t.Errorf("Workers(%d): %v", n, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package kernreg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -46,10 +47,15 @@ func WithCriterion(c Criterion) Option {
 	}
 }
 
-// selectAICc handles the CriterionAICc branch of SelectBandwidth.
-func selectAICc(x, y []float64, c config) (Selection, error) {
+// selectAICc handles the CriterionAICc branch of SelectBandwidth. The
+// AICc searches have no context-aware variants yet, so cancellation is
+// honoured at entry only.
+func selectAICc(ctx context.Context, x, y []float64, c config) (Selection, error) {
 	g, err := buildGrid(x, c)
 	if err != nil {
+		return Selection{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return Selection{}, err
 	}
 	var r bandwidth.Result
@@ -116,7 +122,7 @@ func WithEstimator(e Estimator) Option {
 }
 
 // selectLocalLinear handles the LocalLinear branch of SelectBandwidth.
-func selectLocalLinear(x, y []float64, c config) (Selection, error) {
+func selectLocalLinear(ctx context.Context, x, y []float64, c config) (Selection, error) {
 	g, err := buildGrid(x, c)
 	if err != nil {
 		return Selection{}, err
@@ -127,9 +133,9 @@ func selectLocalLinear(x, y []float64, c config) (Selection, error) {
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: sorted local-linear search supports the epanechnikov kernel only")
 		}
-		r, err = bandwidth.SortedGridSearchLocalLinear(x, y, g)
+		r, err = bandwidth.SortedGridSearchLocalLinearContext(ctx, x, y, g)
 	case MethodNaive:
-		r, err = bandwidth.NaiveGridSearchLocalLinear(x, y, g, c.kern)
+		r, err = bandwidth.NaiveGridSearchLocalLinearContext(ctx, x, y, g, c.kern)
 	default:
 		return Selection{}, fmt.Errorf("kernreg: method %v does not support the local-linear estimator", c.method)
 	}

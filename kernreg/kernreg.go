@@ -17,6 +17,7 @@
 package kernreg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -148,9 +149,15 @@ func GridRange(min, max float64) Option {
 }
 
 // Workers sets the goroutine count for the parallel methods (0 =
-// GOMAXPROCS).
+// GOMAXPROCS). Negative counts are rejected.
 func Workers(n int) Option {
-	return func(c *config) error { c.workers = n; return nil }
+	return func(c *config) error {
+		if n < 0 {
+			return fmt.Errorf("kernreg: workers must be non-negative, got %d", n)
+		}
+		c.workers = n
+		return nil
+	}
 }
 
 // Restarts sets the number of multi-start restarts for MethodNumerical.
@@ -190,6 +197,21 @@ type Selection struct {
 // regression of y on x. Defaults: Epanechnikov kernel, 50-point grid over
 // the paper's default range, sorted grid search.
 func SelectBandwidth(x, y []float64, opts ...Option) (Selection, error) {
+	return SelectBandwidthContext(context.Background(), x, y, opts...)
+}
+
+// SelectBandwidthContext is SelectBandwidth with cooperative
+// cancellation: ctx's cancellation or deadline is propagated into every
+// search method's hot loop (observation granularity for the host
+// searches, tile/launch granularity for the device pipelines), so an
+// abandoned request stops computing instead of running to completion.
+// On cancellation the zero Selection and ctx.Err() are returned; a
+// completed search is bit-identical to SelectBandwidth. A nil ctx is
+// treated as context.Background().
+func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option) (Selection, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	c := config{method: MethodSorted, kern: kernel.Epanechnikov, gridSize: 50}
 	for _, opt := range opts {
 		if err := opt(&c); err != nil {
@@ -199,17 +221,20 @@ func SelectBandwidth(x, y []float64, opts ...Option) (Selection, error) {
 	if err := validateSample(x, y); err != nil {
 		return Selection{}, err
 	}
+	if err := ctx.Err(); err != nil {
+		return Selection{}, err
+	}
 	if c.estimator == LocalLinear {
 		if c.criterion != CriterionCV {
 			return Selection{}, errors.New("kernreg: the AICc criterion currently supports the local-constant estimator only")
 		}
-		return selectLocalLinear(x, y, c)
+		return selectLocalLinear(ctx, x, y, c)
 	}
 	if c.criterion == CriterionAICc {
-		return selectAICc(x, y, c)
+		return selectAICc(ctx, x, y, c)
 	}
 	if c.method == MethodNumerical {
-		return selectNumerical(x, y, c)
+		return selectNumerical(ctx, x, y, c)
 	}
 	g, err := buildGrid(x, c)
 	if err != nil {
@@ -218,29 +243,29 @@ func SelectBandwidth(x, y []float64, opts ...Option) (Selection, error) {
 	var r bandwidth.Result
 	switch c.method {
 	case MethodSorted:
-		r, err = bandwidth.SortedGridSearchKernel(x, y, g, c.kern)
+		r, err = bandwidth.SortedGridSearchKernelContext(ctx, x, y, g, c.kern)
 	case MethodSortedParallel:
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: sorted-parallel currently supports the epanechnikov kernel only")
 		}
-		r, err = bandwidth.SortedGridSearchParallel(x, y, g, c.workers)
+		r, err = bandwidth.SortedGridSearchParallelContext(ctx, x, y, g, c.workers)
 	case MethodSortedF32:
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: sorted-f32 supports the epanechnikov kernel only")
 		}
-		r, err = core.SortedSequential(x, y, g)
+		r, err = core.SortedSequentialContext(ctx, x, y, g)
 	case MethodNaive:
-		r, err = bandwidth.NaiveGridSearch(x, y, g, c.kern)
+		r, err = bandwidth.NaiveGridSearchContext(ctx, x, y, g, c.kern)
 	case MethodGPU:
 		if c.kern != kernel.Epanechnikov && c.kern != kernel.Uniform && c.kern != kernel.Triangular {
 			return Selection{}, errors.New("kernreg: gpu method supports the epanechnikov, uniform and triangular kernels")
 		}
-		r, _, err = core.SelectGPU(x, y, g, core.GPUOptions{KeepScores: c.keepScores, Kernel: c.kern})
+		r, _, err = core.SelectGPUContext(ctx, x, y, g, core.GPUOptions{KeepScores: c.keepScores, Kernel: c.kern})
 	case MethodGPUTiled:
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: gpu-tiled supports the epanechnikov kernel only")
 		}
-		r, _, _, err = core.SelectGPUTiled(x, y, g, core.TiledOptions{KeepScores: c.keepScores})
+		r, _, _, err = core.SelectGPUTiledContext(ctx, x, y, g, core.TiledOptions{KeepScores: c.keepScores})
 	default:
 		return Selection{}, fmt.Errorf("kernreg: unsupported method %v", c.method)
 	}
@@ -289,7 +314,7 @@ func buildGrid(x []float64, c config) (bandwidth.Grid, error) {
 	return bandwidth.DefaultGrid(x, c.gridSize)
 }
 
-func selectNumerical(x, y []float64, c config) (Selection, error) {
+func selectNumerical(ctx context.Context, x, y []float64, c config) (Selection, error) {
 	opt := baselines.Options{Kernel: c.kern, Starts: c.starts, Workers: c.workers}
 	if c.gridMin > 0 {
 		opt.Lo, opt.Hi = c.gridMin, c.gridMax
@@ -297,9 +322,9 @@ func selectNumerical(x, y []float64, c config) (Selection, error) {
 	var r baselines.Result
 	var err error
 	if c.workers > 1 {
-		r, err = baselines.SelectNumericalParallel(x, y, opt)
+		r, err = baselines.SelectNumericalParallelContext(ctx, x, y, opt)
 	} else {
-		r, err = baselines.SelectNumerical(x, y, opt)
+		r, err = baselines.SelectNumericalContext(ctx, x, y, opt)
 	}
 	if err != nil {
 		return Selection{}, err
