@@ -177,6 +177,44 @@ func BenchmarkSortedContextOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkCompensatedOverhead measures what Neumaier-compensated
+// accumulation costs the two sequential sweeps relative to the seed's
+// plain running sums, at the paper's reference size (n = 2,000, k = 50).
+// The stability work's acceptance bound is ≤ 5% overhead for each pair.
+func BenchmarkCompensatedOverhead(b *testing.B) {
+	n := 2000
+	d, g := setup(b, n, benchK)
+	ctx := context.Background()
+	b.Run(fmt.Sprintf("f64-compensated/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bandwidth.SortedGridSearchKernelStabilityContext(ctx, d.X, d.Y, g, kernel.Epanechnikov, bandwidth.Compensated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("f64-uncompensated/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := bandwidth.SortedGridSearchKernelStabilityContext(ctx, d.X, d.Y, g, kernel.Epanechnikov, bandwidth.Uncompensated); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("f32-compensated/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SortedSequential(d.X, d.Y, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run(fmt.Sprintf("f32-uncompensated/n=%d", n), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.SortedSequentialUncompensated(d.X, d.Y, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkTableIIA regenerates Table II Panel A: sequential run time as
 // the number of bandwidths grows, at a fixed sample size. The paper's
 // finding: a visible k effect at small n, negligible at large n.

@@ -107,6 +107,30 @@ func TestGridRefine(t *testing.T) {
 	}
 }
 
+func TestGridRefineToSinglePointReturnsWinner(t *testing.T) {
+	// Regression: Refine(idx, 1) used to call NewGrid(lo, hi, 1), which
+	// returns {lo} — the *previous* grid point — instead of the winner.
+	g, _ := NewGrid(0.1, 1.0, 10)
+	for idx := 0; idx < g.Len(); idx++ {
+		r, err := g.Refine(idx, 1)
+		if err != nil {
+			t.Fatalf("Refine(%d, 1): %v", idx, err)
+		}
+		if r.Len() != 1 {
+			t.Fatalf("Refine(%d, 1) length = %d", idx, r.Len())
+		}
+		if r.H[0] != g.H[idx] {
+			t.Errorf("Refine(%d, 1) = %v, want winner %v", idx, r.H[0], g.H[idx])
+		}
+	}
+	// Single-point grid: refining to one point is the identity.
+	single := Grid{H: []float64{0.5}}
+	r, err := single.Refine(0, 1)
+	if err != nil || r.Len() != 1 || r.H[0] != 0.5 {
+		t.Errorf("single-point Refine(0,1) = %+v, %v; want {0.5}", r, err)
+	}
+}
+
 func TestCVScoreInvalidBandwidth(t *testing.T) {
 	d := data.GeneratePaper(50, 1)
 	if !math.IsInf(CVScore(d.X, d.Y, 0, kernel.Epanechnikov), 1) {

@@ -109,6 +109,12 @@ func (g Grid) Refine(idx, k int) (Grid, error) {
 	if idx < 0 || idx >= len(g.H) {
 		return Grid{}, fmt.Errorf("bandwidth: Refine index %d out of range [0,%d)", idx, len(g.H))
 	}
+	if k == 1 {
+		// A single-point refinement is "the answer, stop searching":
+		// NewGrid(lo, hi, 1) would return {lo}, the *previous* grid
+		// point, silently replacing the winner with its lower bracket.
+		return Grid{H: []float64{g.H[idx]}}, nil
+	}
 	lo := g.H[idx]
 	hi := g.H[idx]
 	if idx > 0 {

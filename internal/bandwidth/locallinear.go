@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/kernel"
+	"repro/internal/mathx"
 	"repro/internal/sortx"
 )
 
@@ -214,6 +215,53 @@ func localLinearSweep(absd, delta, yv []float64, yi float64, grid, scores []floa
 	}
 }
 
+// localLinearSweepCompensated is localLinearSweep with Neumaier
+// accumulation for all nine prefix sums. The WLS moments mix signs (δ and
+// δ³ sums cancel around symmetric neighbourhoods, and offset Y inflates
+// the t-moments), so the local-linear sweep is even more exposed to
+// fast-sum-updating cancellation than the local-constant one.
+func localLinearSweepCompensated(absd, delta, yv []float64, yi float64, grid, scores []float64) {
+	var cnt float64
+	var sD2, sD4, sDelta, sDelta3, sY, sYD2, sYDelta, sYDelta3 mathx.NeumaierAccumulator
+	ptr := 0
+	m := len(absd)
+	for j, h := range grid {
+		for ptr < m && absd[ptr] <= h {
+			d := delta[ptr]
+			d2 := d * d
+			yl := yv[ptr]
+			cnt++
+			sD2.Add(d2)
+			sD4.Add(d2 * d2)
+			sDelta.Add(d)
+			sDelta3.Add(d2 * d)
+			sY.Add(yl)
+			sYD2.Add(yl * d2)
+			sYDelta.Add(yl * d)
+			sYDelta3.Add(yl * d2 * d)
+			ptr++
+		}
+		h2 := h * h
+		s0 := 0.75 * (cnt - sD2.Sum()/h2)
+		if s0 <= 0 {
+			continue
+		}
+		s1 := 0.75 * (sDelta.Sum() - sDelta3.Sum()/h2)
+		s2 := 0.75 * (sD2.Sum() - sD4.Sum()/h2)
+		t0 := 0.75 * (sY.Sum() - sYD2.Sum()/h2)
+		t1 := 0.75 * (sYDelta.Sum() - sYDelta3.Sum()/h2)
+		det := s0*s2 - s1*s1
+		var g float64
+		if !(det > llDetTol*s0*s2) {
+			g = t0 / s0
+		} else {
+			g = (s2*t0 - s1*t1) / det
+		}
+		r := yi - g
+		scores[j] += r * r
+	}
+}
+
 // SortedGridSearchLocalLinear runs the sorted incremental grid search for
 // the local-linear estimator with the Epanechnikov kernel — the "ll"
 // analogue of SortedGridSearch, demonstrating that the paper's technique
@@ -226,11 +274,22 @@ func SortedGridSearchLocalLinear(x, y []float64, g Grid) (Result, error) {
 // cooperative cancellation, polled once per observation like the
 // local-constant sorted search.
 func SortedGridSearchLocalLinearContext(ctx context.Context, x, y []float64, g Grid) (Result, error) {
+	return SortedGridSearchLocalLinearStabilityContext(ctx, x, y, g, Compensated)
+}
+
+// SortedGridSearchLocalLinearStabilityContext is
+// SortedGridSearchLocalLinearContext with an explicit summation mode for
+// the nine-sum sweep.
+func SortedGridSearchLocalLinearStabilityContext(ctx context.Context, x, y []float64, g Grid, st Stability) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
 	if err := g.Validate(); err != nil {
 		return Result{}, err
+	}
+	sweep := localLinearSweepCompensated
+	if st == Uncompensated {
+		sweep = localLinearSweep
 	}
 	n := len(x)
 	scores := make([]float64, g.Len())
@@ -240,7 +299,7 @@ func SortedGridSearchLocalLinearContext(ctx context.Context, x, y []float64, g G
 			return Result{}, err
 		}
 		ws.fill(x, y, i)
-		localLinearSweep(ws.absd, ws.delta, ws.yv, y[i], g.H, scores)
+		sweep(ws.absd, ws.delta, ws.yv, y[i], g.H, scores)
 	}
 	for j := range scores {
 		scores[j] /= float64(n)

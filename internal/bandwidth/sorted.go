@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"repro/internal/kernel"
+	"repro/internal/mathx"
 	"repro/internal/sortx"
 )
 
@@ -17,6 +18,32 @@ import (
 // terms. One observation therefore costs O(n log n) for the sort plus
 // O(n + k) for the sweep, and the whole grid search costs O(n² log n)
 // instead of the naive O(k·n²).
+
+// Stability selects the summation arithmetic of the sorted sweeps. The
+// incremental prefix sums are exactly the "fast sum updating" scheme
+// whose cancellation error Langrené & Warin analyse: a large common
+// offset in Y makes Σy and Σy·d² carry magnitudes far above the residual
+// scale, and plain running sums lose O(n·ε) of it. Compensated
+// (Neumaier) accumulation bounds that loss at O(ε) per sum for a few
+// extra flops in a loop the per-observation sort already dominates.
+type Stability int
+
+const (
+	// Compensated uses Neumaier summation for the running prefix sums.
+	// The default for every entry point.
+	Compensated Stability = iota
+	// Uncompensated reproduces the seed's plain running sums. Kept for
+	// the stability battery and the overhead benchmark (ablation only).
+	Uncompensated
+)
+
+// String returns the stability-mode name.
+func (s Stability) String() string {
+	if s == Uncompensated {
+		return "uncompensated"
+	}
+	return "compensated"
+}
 
 // epanechnikovSweep accumulates, for one observation, the squared
 // leave-one-out residual for every grid bandwidth, adding each into
@@ -97,18 +124,100 @@ func triangularSweep(absd, yv []float64, yi float64, grid []float64, scores []fl
 	}
 }
 
-// sweepFunc returns the per-observation sweep for a compact kernel, or an
-// error for kernels the sorted method does not support (the Gaussian has
-// unbounded support: no sort-based incremental structure exists, as the
-// paper's footnote 1 notes — though it also needs no sort at all).
-func sweepFunc(k kernel.Kind) (func(absd, yv []float64, yi float64, grid, scores []float64), error) {
+// epanechnikovSweepCompensated is epanechnikovSweep with Neumaier
+// accumulation for the three prefix sums. The per-observation score
+// accumulation (scores[j] += r²) stays plain: squared residuals are
+// non-negative, so that sum cannot cancel and its O(n·ε₆₄) rounding is
+// far inside the conformance tolerance.
+func epanechnikovSweepCompensated(absd, yv []float64, yi float64, grid []float64, scores []float64) {
+	var sy, syd2, sd2 mathx.NeumaierAccumulator
+	cnt := 0
+	ptr := 0
+	m := len(absd)
+	for j, h := range grid {
+		for ptr < m && absd[ptr] <= h {
+			d2 := absd[ptr] * absd[ptr]
+			sy.Add(yv[ptr])
+			syd2.Add(yv[ptr] * d2)
+			sd2.Add(d2)
+			cnt++
+			ptr++
+		}
+		h2 := h * h
+		den := 0.75 * (float64(cnt) - sd2.Sum()/h2)
+		if den > 0 {
+			num := 0.75 * (sy.Sum() - syd2.Sum()/h2)
+			r := yi - num/den
+			scores[j] += r * r
+		}
+	}
+}
+
+// uniformSweepCompensated is uniformSweep with a compensated Σy.
+func uniformSweepCompensated(absd, yv []float64, yi float64, grid []float64, scores []float64) {
+	var sy mathx.NeumaierAccumulator
+	cnt := 0
+	ptr := 0
+	m := len(absd)
+	for j, h := range grid {
+		for ptr < m && absd[ptr] <= h {
+			sy.Add(yv[ptr])
+			cnt++
+			ptr++
+		}
+		if cnt > 0 {
+			r := yi - sy.Sum()/float64(cnt)
+			scores[j] += r * r
+		}
+	}
+}
+
+// triangularSweepCompensated is triangularSweep with compensated prefix
+// sums.
+func triangularSweepCompensated(absd, yv []float64, yi float64, grid []float64, scores []float64) {
+	var sy, syad, sad mathx.NeumaierAccumulator
+	cnt := 0
+	ptr := 0
+	m := len(absd)
+	for j, h := range grid {
+		for ptr < m && absd[ptr] <= h {
+			sy.Add(yv[ptr])
+			syad.Add(yv[ptr] * absd[ptr])
+			sad.Add(absd[ptr])
+			cnt++
+			ptr++
+		}
+		den := float64(cnt) - sad.Sum()/h
+		if den > 0 {
+			num := sy.Sum() - syad.Sum()/h
+			r := yi - num/den
+			scores[j] += r * r
+		}
+	}
+}
+
+// sweepFunc returns the per-observation sweep for a compact kernel under
+// the requested stability mode, or an error for kernels the sorted method
+// does not support (the Gaussian has unbounded support: no sort-based
+// incremental structure exists, as the paper's footnote 1 notes — though
+// it also needs no sort at all).
+func sweepFunc(k kernel.Kind, st Stability) (func(absd, yv []float64, yi float64, grid, scores []float64), error) {
 	switch k {
 	case kernel.Epanechnikov:
-		return epanechnikovSweep, nil
+		if st == Uncompensated {
+			return epanechnikovSweep, nil
+		}
+		return epanechnikovSweepCompensated, nil
 	case kernel.Uniform:
-		return uniformSweep, nil
+		if st == Uncompensated {
+			return uniformSweep, nil
+		}
+		return uniformSweepCompensated, nil
 	case kernel.Triangular:
-		return triangularSweep, nil
+		if st == Uncompensated {
+			return triangularSweep, nil
+		}
+		return triangularSweepCompensated, nil
 	default:
 		return nil, fmt.Errorf("bandwidth: sorted grid search requires a compact prefix-decomposable kernel, %v is not supported", k)
 	}
@@ -172,13 +281,21 @@ func SortedGridSearchKernel(x, y []float64, g Grid, k kernel.Kind) (Result, erro
 // the check only early-exits, so the float arithmetic of a completed
 // search is bit-identical to the uncancellable entry point.
 func SortedGridSearchKernelContext(ctx context.Context, x, y []float64, g Grid, k kernel.Kind) (Result, error) {
+	return SortedGridSearchKernelStabilityContext(ctx, x, y, g, k, Compensated)
+}
+
+// SortedGridSearchKernelStabilityContext is SortedGridSearchKernelContext
+// with an explicit summation mode. Uncompensated reproduces the seed's
+// plain running prefix sums; every public entry point defaults to
+// Compensated.
+func SortedGridSearchKernelStabilityContext(ctx context.Context, x, y []float64, g Grid, k kernel.Kind, st Stability) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
 	if err := g.Validate(); err != nil {
 		return Result{}, err
 	}
-	sweep, err := sweepFunc(k)
+	sweep, err := sweepFunc(k, st)
 	if err != nil {
 		return Result{}, err
 	}
@@ -214,6 +331,13 @@ func SortedGridSearchParallel(x, y []float64, g Grid, workers int) (Result, erro
 // within one row's work each. The reduction is skipped on cancellation
 // and ctx.Err() is returned with a zero Result.
 func SortedGridSearchParallelContext(ctx context.Context, x, y []float64, g Grid, workers int) (Result, error) {
+	return SortedGridSearchParallelStabilityContext(ctx, x, y, g, workers, Compensated)
+}
+
+// SortedGridSearchParallelStabilityContext is
+// SortedGridSearchParallelContext with an explicit summation mode for the
+// per-worker sweeps.
+func SortedGridSearchParallelStabilityContext(ctx context.Context, x, y []float64, g Grid, workers int, st Stability) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
 	}
@@ -221,6 +345,10 @@ func SortedGridSearchParallelContext(ctx context.Context, x, y []float64, g Grid
 		return Result{}, err
 	}
 	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	sweep, err := sweepFunc(kernel.Epanechnikov, st)
+	if err != nil {
 		return Result{}, err
 	}
 	if workers <= 0 {
@@ -247,7 +375,7 @@ func SortedGridSearchParallelContext(ctx context.Context, x, y []float64, g Grid
 					return
 				}
 				ws.fill(x, y, i)
-				epanechnikovSweep(ws.absd, ws.yv, y[i], g.H, scores)
+				sweep(ws.absd, ws.yv, y[i], g.H, scores)
 			}
 		}(w)
 	}

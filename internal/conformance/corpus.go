@@ -220,6 +220,49 @@ func Corpus() []Dataset {
 		)
 	}
 
+	// Boundary ties, exactly representable: X on multiples of 1/8 and a
+	// grid on multiples of 1/4, so many |Xi−Xl| land *exactly* on a grid
+	// bandwidth in float64 and survive the float32 narrowing unchanged.
+	// The in-range test is `d <= h`, so these terms are included — but
+	// the Epanechnikov weight vanishes at |d| = h, so inclusion
+	// contributes only O(ε) and every precision must agree (the policy's
+	// boundary-tie coverage; see policy.go).
+	{
+		n := 64
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%16) * 0.125
+			y[i] = math.Sin(2*x[i]) + 0.1*rng.NormFloat64()
+		}
+		cases = append(cases, Dataset{Name: "boundary-ties", X: x, Y: y, GridMin: 0.25, GridMax: 2, K: 8})
+	}
+
+	// Boundary ties, inexact: X spaced 0.1 apart and a grid stepping 0.1
+	// — neither is a binary fraction, so whether d == h, d < h, or d > h
+	// can differ between float64 and the float32 images the device
+	// compares. The kernel weight still vanishes toward |d| = h, so the
+	// discrepancy stays inside the Float32 tolerance class.
+	{
+		n := 60
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i%10) * 0.1
+			y[i] = math.Cos(3*x[i]) + 0.1*rng.NormFloat64()
+		}
+		cases = append(cases, Dataset{Name: "boundary-ties-inexact", X: x, Y: y, GridMin: 0.1, GridMax: 1, K: 10})
+	}
+
+	// Fully degenerate: the observations sit 10 apart while the grid tops
+	// out at h = 1, so no observation has any leave-one-out neighbour in
+	// range — den ≤ 0 for every bandwidth at every observation (the
+	// paper's M(X_i) mask kills every term). Every selector must agree on
+	// the all-zero score vector and break the tie at index 0.
+	cases = append(cases,
+		Dataset{Name: "all-out-of-range", X: []float64{0, 10, 20}, Y: []float64{1, 2, 3}, GridMin: 0.1, GridMax: 1, K: 8},
+	)
+
 	// Boundary sample sizes.
 	cases = append(cases,
 		Dataset{Name: "n2", X: []float64{0.2, 0.8}, Y: []float64{1, 2}, GridMin: 0.1, GridMax: 1, K: 8},

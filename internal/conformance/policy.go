@@ -33,6 +33,20 @@ import (
 // bound, and the device CV must agree with the oracle score at the
 // device's chosen index.
 //
+// Boundary ties (|Xi−Xl| == h) are covered by the same two classes, not
+// a special case. The sorted sweeps include a term when d <= h while the
+// naive oracle includes it when its kernel weight is positive — at
+// d == h the Epanechnikov weight is exactly zero, so the included term
+// contributes 0 in exact arithmetic and O(ε) after rounding. When the
+// comparison happens in float32 (the device narrows both d and h), a tie
+// that is exact in float64 can resolve to either side of the boundary;
+// the affected term's weight is within rounding of zero either way, so
+// the discrepancy is ≤ a few ULP per term and sits well inside
+// float32CVTol(n). The corpus pins both regimes: "boundary-ties" (X and
+// grid on binary fractions — ties exact in both precisions) and
+// "boundary-ties-inexact" (decimal spacing — ties that flip sides under
+// float32 rounding).
+//
 // Continuum (numerical optimiser) selectors search the real line; no
 // grid index exists, and the paper's whole point is that they may land
 // on a non-global local minimum. The engine therefore checks only

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/bandwidth"
 	"repro/internal/cuda"
+	"repro/internal/mathx"
 )
 
 // Selector identifies one of the evaluated programs, matching the paper's
@@ -63,8 +64,21 @@ func (s Selector) String() string {
 // is the same iterative QuickSort — so that, as in the paper's §IV.C
 // correctness protocol, the sequential and device programs can be checked
 // against each other for identical per-observation residuals.
+//
+// The prefix sums and the cross-observation score accumulation use
+// Neumaier compensation; SortedSequentialUncompensated preserves the
+// paper's plain float32 accumulation for ablation and agreement tests.
 func SortedSequential(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
 	return SortedSequentialContext(context.Background(), x, y, g)
+}
+
+// SortedSequentialUncompensated runs Program 3 with the paper's original
+// plain float32 running sums (no compensation). Kept so the stability
+// battery can measure how much error compensation removes, and so
+// agreement tests can still reproduce the exact arithmetic of the
+// paper's C program.
+func SortedSequentialUncompensated(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+	return SortedSequentialUncompensatedContext(context.Background(), x, y, g)
 }
 
 // SortedSequentialContext is SortedSequential with cooperative
@@ -73,6 +87,16 @@ func SortedSequential(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error
 // only early-exits, leaving the float32 arithmetic of a completed run
 // bit-identical.
 func SortedSequentialContext(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+	return sortedSequential(ctx, x, y, g, false)
+}
+
+// SortedSequentialUncompensatedContext is SortedSequentialUncompensated
+// with cooperative cancellation.
+func SortedSequentialUncompensatedContext(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+	return sortedSequential(ctx, x, y, g, true)
+}
+
+func sortedSequential(ctx context.Context, x, y []float64, g bandwidth.Grid, uncompensated bool) (bandwidth.Result, error) {
 	if err := checkInputs(x, y, g); err != nil {
 		return bandwidth.Result{}, err
 	}
@@ -82,6 +106,9 @@ func SortedSequentialContext(ctx context.Context, x, y []float64, g bandwidth.Gr
 	ys := toF32(y)
 	hs := toF32(g.H)
 	scores := make([]float32, k)
+	// comp carries the Neumaier compensation for each bandwidth's score
+	// across observations; it stays all-zero on the uncompensated path.
+	comp := make([]float32, k)
 	absRow := make([]float32, n)
 	yRow := make([]float32, n)
 	for j := 0; j < n; j++ {
@@ -90,11 +117,15 @@ func SortedSequentialContext(ctx context.Context, x, y []float64, g bandwidth.Gr
 		}
 		fillRow(xs, ys, j, absRow, yRow)
 		cuda.DeviceQuickSort(absRow, yRow)
-		accumulateRow(absRow, yRow, ys[j], hs, scores)
+		if uncompensated {
+			accumulateRow(absRow, yRow, ys[j], hs, scores)
+		} else {
+			accumulateRowCompensated(absRow, yRow, ys[j], hs, scores, comp)
+		}
 	}
 	out := make([]float64, k)
 	for jh := range scores {
-		out[jh] = float64(scores[jh]) / float64(n)
+		out[jh] = float64(scores[jh]+comp[jh]) / float64(n)
 	}
 	return bandwidth.Best(g, out), nil
 }
@@ -154,6 +185,75 @@ func accumulateRow(absRow, yRow []float32, yj float32, hs []float32, scores []fl
 			scores[jh] += r * r
 		}
 	}
+}
+
+// accumulateRowCompensated is accumulateRow with Neumaier compensation on
+// the three running prefix sums and on the cross-observation score
+// accumulation (scores[jh]+comp[jh] is the compensated total). The prefix
+// sums are where fast sum updating loses accuracy — a large common offset
+// in Y makes sy cancel against the later (sy − yj) subtraction — while
+// the score compensation bounds the O(n·ε) drift of adding n small
+// squared residuals into one float32. On a real GPU all five extra values
+// live in per-thread registers, so the scheme adds no shared memory and
+// no global traffic.
+func accumulateRowCompensated(absRow, yRow []float32, yj float32, hs []float32, scores, comp []float32) {
+	n := len(absRow)
+	var sy, syd2, sd2 mathx.NeumaierAccumulator32
+	cnt := 0
+	ptr := 0
+	for jh, h := range hs {
+		for ptr < n && absRow[ptr] <= h {
+			d := absRow[ptr]
+			d2 := d * d
+			yv := yRow[ptr]
+			sy.Add(yv)
+			syd2.Add(yv * d2)
+			sd2.Add(d2)
+			cnt++
+			ptr++
+		}
+		h2 := h * h
+		den := 0.75 * (float32(cnt-1) - sd2.Sum()/h2)
+		if den > 0 {
+			num := 0.75 * ((sy.Sum() - yj) - syd2.Sum()/h2)
+			r := yj - num/den
+			// Neumaier step for scores[jh] += r*r with carry comp[jh].
+			x := r * r
+			t := scores[jh] + x
+			if mathx.Abs32(scores[jh]) >= mathx.Abs32(x) {
+				comp[jh] += (scores[jh] - t) + x
+			} else {
+				comp[jh] += (x - t) + scores[jh]
+			}
+			scores[jh] = t
+		}
+	}
+}
+
+// compAcc32 is a float32 accumulator that is either a plain running sum
+// (the paper's original arithmetic) or Neumaier-compensated, chosen at
+// construction. The device sweeps use it so the compensated and
+// uncompensated pipelines share one kernel body; on the plain path the
+// arithmetic is bit-identical to the original `s += x` loop.
+type compAcc32 struct {
+	plain bool
+	v     float32
+	acc   mathx.NeumaierAccumulator32
+}
+
+func (a *compAcc32) add(x float32) {
+	if a.plain {
+		a.v += x
+		return
+	}
+	a.acc.Add(x)
+}
+
+func (a *compAcc32) sum() float32 {
+	if a.plain {
+		return a.v
+	}
+	return a.acc.Sum()
 }
 
 func checkInputs(x, y []float64, g bandwidth.Grid) error {

@@ -38,6 +38,14 @@ type GPUOptions struct {
 	// uncoalesced, and the per-bandwidth reductions read strided memory.
 	// Ablation only (DESIGN.md decision 4); results are identical.
 	NoIndexSwitch bool
+	// Uncompensated reverts the main kernel's bandwidth sweep and the
+	// per-bandwidth score reductions to the paper's plain float32
+	// accumulation. The default (false) uses Neumaier compensation in the
+	// sweep's running prefix sums and the reductions' strided folds,
+	// which bounds the cancellation error that fast sum updating
+	// accumulates at large n. Kept for ablation and for bit-exact
+	// agreement with the original program.
+	Uncompensated bool
 }
 
 func (o GPUOptions) withDefaults() GPUOptions {
@@ -134,22 +142,28 @@ func SelectGPUContext(ctx context.Context, x, y []float64, g bandwidth.Grid, opt
 	if err := ctx.Err(); err != nil {
 		return bandwidth.Result{}, nil, err
 	}
-	mainTally, err := launchMainKernel(dev, bufs, bwSym, n, k, opt.BlockDim, opt.NoIndexSwitch, opt.Kernel)
+	mainTally, err := launchMainKernel(dev, bufs, bwSym, n, k, opt.BlockDim, opt.NoIndexSwitch, opt.Uncompensated, opt.Kernel)
 	if err != nil {
 		return bandwidth.Result{}, nil, err
 	}
 
 	// One summation reduction per bandwidth (paper: "a summation
 	// reduction is performed k times, once for each bandwidth").
+	// Compensated runs use the Kahan strided fold; the NoIndexSwitch
+	// ablation keeps the plain strided reduction in both modes, since it
+	// exists to reproduce the original program's memory traffic.
 	redDim := reduceDim(opt.ReduceDim, n)
 	for jh := 0; jh < k; jh++ {
 		if err := ctx.Err(); err != nil {
 			return bandwidth.Result{}, nil, err
 		}
-		if opt.NoIndexSwitch {
+		switch {
+		case opt.NoIndexSwitch:
 			err = cuda.SumReduceStrided(dev, bufs.dResid, jh, n, k, bufs.dCV, jh, redDim)
-		} else {
+		case opt.Uncompensated:
 			err = cuda.SumReduce(dev, bufs.dResid, jh*n, n, bufs.dCV, jh, redDim)
+		default:
+			err = cuda.SumReduceKahan(dev, bufs.dResid, jh*n, n, bufs.dCV, jh, redDim)
 		}
 		if err != nil {
 			return bandwidth.Result{}, nil, err
@@ -253,7 +267,7 @@ func freePipeline(dev *gpu.Device, b pipelineBuffers) {
 // accumulators, and finally writes leave-one-out squared residuals into
 // the residual matrix with switched indices (k groups of n) so the
 // subsequent per-bandwidth reductions read coalesced memory.
-func launchMainKernel(dev *gpu.Device, b pipelineBuffers, bwSym *gpu.ConstSymbol, n, k, blockDim int, noSwitch bool, kern kernel.Kind) (gpu.Tally, error) {
+func launchMainKernel(dev *gpu.Device, b pipelineBuffers, bwSym *gpu.ConstSymbol, n, k, blockDim int, noSwitch, uncompensated bool, kern kernel.Kind) (gpu.Tally, error) {
 	if blockDim > dev.Props().MaxThreadsPerBlock {
 		blockDim = dev.Props().MaxThreadsPerBlock
 	}
@@ -300,8 +314,14 @@ func launchMainKernel(dev *gpu.Device, b pipelineBuffers, bwSym *gpu.ConstSymbol
 		// grid. For the Epanechnikov kernel the accumulators are Σy,
 		// Σy·d², Σd²; for the Triangular they are Σy, Σy·|d|, Σ|d|; for
 		// the Uniform just Σy — the count rides along in all cases
-		// (footnote 1's prefix-decomposable set).
-		var sy, syAux, sAux float32
+		// (footnote 1's prefix-decomposable set). By default the three
+		// running sums carry Neumaier compensation: the sum and carry
+		// are per-thread registers, so the stabilised sweep costs extra
+		// flops but no extra memory traffic. The stored per-bandwidth
+		// snapshots stay plain float32, as the matrices' layout demands.
+		sy := compAcc32{plain: uncompensated}
+		syAux := compAcc32{plain: uncompensated}
+		sAux := compAcc32{plain: uncompensated}
 		cnt := 0
 		ptr := 0
 		sweepReads := 0
@@ -310,29 +330,34 @@ func launchMainKernel(dev *gpu.Device, b pipelineBuffers, bwSym *gpu.ConstSymbol
 			for ptr < n && absRow[ptr] <= h {
 				d := absRow[ptr]
 				yv := yRow[ptr]
-				sy += yv
+				sy.add(yv)
 				switch kern {
 				case kernel.Uniform:
 					// count and Σy suffice
 				case kernel.Triangular:
-					syAux += yv * d
-					sAux += d
+					syAux.add(yv * d)
+					sAux.add(d)
 				default: // Epanechnikov
 					d2 := d * d
-					syAux += yv * d2
-					sAux += d2
+					syAux.add(yv * d2)
+					sAux.add(d2)
 				}
 				cnt++
 				ptr++
 				sweepReads += 2
 			}
 			base := j*k + jh
-			tc.Store(b.dSumY, base, sy)
-			tc.Store(b.dSumYD2, base, syAux)
-			tc.Store(b.dSumD2, base, sAux)
+			tc.Store(b.dSumY, base, sy.sum())
+			tc.Store(b.dSumYD2, base, syAux.sum())
+			tc.Store(b.dSumD2, base, sAux.sum())
 			tc.Store(b.dCnt, base, float32(cnt))
 		}
-		tc.ChargeOps(int64(6*ptr + 2*k))
+		if uncompensated {
+			tc.ChargeOps(int64(6*ptr + 2*k))
+		} else {
+			// Compensation quadruples each accumulate: ~4 flops per Add.
+			tc.ChargeOps(int64(15*ptr + 2*k))
+		}
 		tc.ChargeGlobalRead(int64(sweepReads) * 4)
 
 		// Phase 4: combine the accumulator matrices into leave-one-out

@@ -195,7 +195,9 @@ func runDeviceShare(ctx context.Context, x, y []float64, g bandwidth.Grid, start
 		sc := cuda.DeviceQuickSort(absRow, yRow)
 		cuda.ChargeSort(tc, sc)
 
-		var sy, syd2, sd2 float32
+		sy := compAcc32{plain: opt.Uncompensated}
+		syd2 := compAcc32{plain: opt.Uncompensated}
+		sd2 := compAcc32{plain: opt.Uncompensated}
 		cnt := 0
 		ptr := 0
 		sweepReads := 0
@@ -205,20 +207,24 @@ func runDeviceShare(ctx context.Context, x, y []float64, g bandwidth.Grid, start
 				d := absRow[ptr]
 				d2 := d * d
 				yv := yRow[ptr]
-				sy += yv
-				syd2 += yv * d2
-				sd2 += d2
+				sy.add(yv)
+				syd2.add(yv * d2)
+				sd2.add(d2)
 				cnt++
 				ptr++
 				sweepReads += 2
 			}
 			base := t*k + jh
-			tc.Store(dSumY, base, sy)
-			tc.Store(dSumYD2, base, syd2)
-			tc.Store(dSumD2, base, sd2)
+			tc.Store(dSumY, base, sy.sum())
+			tc.Store(dSumYD2, base, syd2.sum())
+			tc.Store(dSumD2, base, sd2.sum())
 			tc.Store(dCnt, base, float32(cnt))
 		}
-		tc.ChargeOps(int64(6*ptr + 2*k))
+		if opt.Uncompensated {
+			tc.ChargeOps(int64(6*ptr + 2*k))
+		} else {
+			tc.ChargeOps(int64(15*ptr + 2*k))
+		}
 		tc.ChargeGlobalRead(int64(sweepReads) * 4)
 
 		yj := ys[j]
@@ -247,11 +253,15 @@ func runDeviceShare(ctx context.Context, x, y []float64, g bandwidth.Grid, start
 		return nil, 0, 0, err
 	}
 	redDim := reduceDim(opt.ReduceDim, count)
+	sumReduce := cuda.SumReduceKahan
+	if opt.Uncompensated {
+		sumReduce = cuda.SumReduce
+	}
 	for jh := 0; jh < k; jh++ {
 		if err := ctx.Err(); err != nil {
 			return nil, 0, 0, err
 		}
-		if err := cuda.SumReduce(dev, dResid, jh*count, count, dCV, jh, redDim); err != nil {
+		if err := sumReduce(dev, dResid, jh*count, count, dCV, jh, redDim); err != nil {
 			return nil, 0, 0, err
 		}
 	}

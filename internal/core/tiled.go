@@ -30,6 +30,9 @@ type TiledOptions struct {
 	ChunkSize int
 	// KeepScores copies the CV score vector back to the host.
 	KeepScores bool
+	// Uncompensated reverts the sweep and score reductions to plain
+	// float32 accumulation, as in GPUOptions.Uncompensated.
+	Uncompensated bool
 }
 
 func (o TiledOptions) withDefaults() TiledOptions {
@@ -123,7 +126,7 @@ func SelectGPUTiledContext(ctx context.Context, x, y []float64, g bandwidth.Grid
 		if start+count > n {
 			count = n - start
 		}
-		t, err := launchTiledChunk(dev, bufs, bwSym, n, k, start, count, opt.Props.MaxThreadsPerBlock)
+		t, err := launchTiledChunk(dev, bufs, bwSym, n, k, start, count, opt.Props.MaxThreadsPerBlock, opt.Uncompensated)
 		if err != nil {
 			return bandwidth.Result{}, nil, 0, err
 		}
@@ -131,11 +134,15 @@ func SelectGPUTiledContext(ctx context.Context, x, y []float64, g bandwidth.Grid
 	}
 
 	redDim := reduceDim(opt.Props.MaxThreadsPerBlock, n)
+	sumReduce := cuda.SumReduceKahan
+	if opt.Uncompensated {
+		sumReduce = cuda.SumReduce
+	}
 	for jh := 0; jh < k; jh++ {
 		if err := ctx.Err(); err != nil {
 			return bandwidth.Result{}, nil, 0, err
 		}
-		if err := cuda.SumReduce(dev, bufs.dResid, jh*n, n, bufs.dCV, jh, redDim); err != nil {
+		if err := sumReduce(dev, bufs.dResid, jh*n, n, bufs.dCV, jh, redDim); err != nil {
 			return bandwidth.Result{}, nil, 0, err
 		}
 	}
@@ -210,7 +217,7 @@ func allocTiled(dev *gpu.Device, n, k, chunk int) (tiledBuffers, error) {
 // launchTiledChunk runs the main kernel for observations
 // [start, start+count): thread t handles observation start+t using
 // scratch row t. The body is the same four phases as launchMainKernel.
-func launchTiledChunk(dev *gpu.Device, b tiledBuffers, bwSym *gpu.ConstSymbol, n, k, start, count, blockDim int) (gpu.Tally, error) {
+func launchTiledChunk(dev *gpu.Device, b tiledBuffers, bwSym *gpu.ConstSymbol, n, k, start, count, blockDim int, uncompensated bool) (gpu.Tally, error) {
 	if blockDim > dev.Props().MaxThreadsPerBlock {
 		blockDim = dev.Props().MaxThreadsPerBlock
 	}
@@ -248,7 +255,9 @@ func launchTiledChunk(dev *gpu.Device, b tiledBuffers, bwSym *gpu.ConstSymbol, n
 		sc := cuda.DeviceQuickSort(absRow, yRow)
 		cuda.ChargeSort(tc, sc)
 
-		var sy, syd2, sd2 float32
+		sy := compAcc32{plain: uncompensated}
+		syd2 := compAcc32{plain: uncompensated}
+		sd2 := compAcc32{plain: uncompensated}
 		cnt := 0
 		ptr := 0
 		sweepReads := 0
@@ -258,20 +267,24 @@ func launchTiledChunk(dev *gpu.Device, b tiledBuffers, bwSym *gpu.ConstSymbol, n
 				d := absRow[ptr]
 				d2 := d * d
 				yv := yRow[ptr]
-				sy += yv
-				syd2 += yv * d2
-				sd2 += d2
+				sy.add(yv)
+				syd2.add(yv * d2)
+				sd2.add(d2)
 				cnt++
 				ptr++
 				sweepReads += 2
 			}
 			base := j*k + jh
-			tc.Store(b.dSumY, base, sy)
-			tc.Store(b.dSumYD2, base, syd2)
-			tc.Store(b.dSumD2, base, sd2)
+			tc.Store(b.dSumY, base, sy.sum())
+			tc.Store(b.dSumYD2, base, syd2.sum())
+			tc.Store(b.dSumD2, base, sd2.sum())
 			tc.Store(b.dCnt, base, float32(cnt))
 		}
-		tc.ChargeOps(int64(6*ptr + 2*k))
+		if uncompensated {
+			tc.ChargeOps(int64(6*ptr + 2*k))
+		} else {
+			tc.ChargeOps(int64(15*ptr + 2*k))
+		}
 		tc.ChargeGlobalRead(int64(sweepReads) * 4)
 
 		yj := ys[j]

@@ -303,6 +303,105 @@ func TestArgMinIndexReduceMatchesValueVariant(t *testing.T) {
 	}
 }
 
+func TestSumReduceKahanMatchesHost(t *testing.T) {
+	d := testDevice(t)
+	for _, n := range []int{1, 7, 128, 1000} {
+		for _, T := range []int{32, 128, 512} {
+			in, _ := d.Malloc(n, "in")
+			out, _ := d.Malloc(1, "out")
+			rng := rand.New(rand.NewSource(int64(n + T)))
+			host := make([]float32, n)
+			var want float64
+			for i := range host {
+				host[i] = float32(rng.Float64())
+				want += float64(host[i])
+			}
+			_ = d.CopyToDevice(in, host)
+			if err := SumReduceKahan(d, in, 0, n, out, 0, T); err != nil {
+				t.Fatal(err)
+			}
+			got := make([]float32, 1)
+			_ = d.CopyFromDevice(got, out)
+			if math.Abs(float64(got[0])-want) > 1e-3*math.Max(1, want) {
+				t.Errorf("n=%d T=%d: kahan sum = %v, want %v", n, T, got[0], want)
+			}
+			_ = d.Free(in)
+			_ = d.Free(out)
+		}
+	}
+}
+
+func TestSumReduceKahanBeatsPlainOnAdversarialInput(t *testing.T) {
+	// A large common offset followed by many small terms: the plain
+	// strided fold swallows the small terms' low bits, the compensated
+	// one carries them. Compare both against the float64 reference.
+	d := testDevice(t)
+	n := 4096
+	host := make([]float32, n)
+	var want float64
+	for i := range host {
+		if i%64 == 0 {
+			host[i] = 1 << 14
+		} else {
+			host[i] = 0.001
+		}
+		want += float64(host[i])
+	}
+	in, _ := d.Malloc(n, "in")
+	out, _ := d.Malloc(2, "out")
+	_ = d.CopyToDevice(in, host)
+	if err := SumReduceKahan(d, in, 0, n, out, 0, 64); err != nil {
+		t.Fatal(err)
+	}
+	if err := SumReduce(d, in, 0, n, out, 1, 64); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]float32, 2)
+	_ = d.CopyFromDevice(got, out)
+	errKahan := math.Abs(float64(got[0]) - want)
+	errPlain := math.Abs(float64(got[1]) - want)
+	if errKahan > errPlain {
+		t.Errorf("kahan error %v exceeds plain error %v (want=%v)", errKahan, errPlain, want)
+	}
+	if errKahan > 1e-3*want {
+		t.Errorf("kahan error %v too large (want=%v)", errKahan, want)
+	}
+}
+
+func TestArgMinIndexReduceAllInf(t *testing.T) {
+	// Every score +Inf (all bandwidths degenerate): the index variant's
+	// strided pass used to require a previously-recorded index on the tie
+	// branch, so nothing was ever recorded and it returned Index -1 while
+	// the value variant and the host arg-min return index 0.
+	d := testDevice(t)
+	k := 37
+	inf := float32(math.Inf(1))
+	scoresHost := make([]float32, k)
+	bws := make([]float32, k)
+	for i := range scoresHost {
+		scoresHost[i] = inf
+		bws[i] = float32(i+1) * 0.1
+	}
+	scores, _ := d.Malloc(k, "scores")
+	out, _ := d.Malloc(2, "out")
+	_ = d.CopyToDevice(scores, scoresHost)
+	sym, _ := d.UploadConstant("bw", bws)
+	a, err := ArgMinReduce(d, scores, k, sym, out, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ArgMinIndexReduce(d, scores, k, sym, out, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Index != 0 {
+		t.Errorf("index variant on all-Inf scores: Index = %d, want 0", b.Index)
+	}
+	if a.Index != b.Index || a.Bandwidth != b.Bandwidth {
+		t.Errorf("variants disagree on all-Inf scores: %+v vs %+v", a, b)
+	}
+}
+
 func TestArgMinValidation(t *testing.T) {
 	d := testDevice(t)
 	scores, _ := d.Malloc(10, "scores")

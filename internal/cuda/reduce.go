@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/gpu"
+	"repro/internal/mathx"
 )
 
 // The reductions below follow the paper's §IV.B, which adapts Harris's
@@ -40,6 +41,49 @@ func SumReduce(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outId
 		tc.SharedStore(t, s)
 		tc.SyncThreads()
 		// Tree reduction in shared memory.
+		for stride := T / 2; stride > 0; stride /= 2 {
+			if t < stride {
+				tc.SharedStore(t, tc.SharedLoad(t)+tc.SharedLoad(t+stride))
+				tc.ChargeOps(1)
+			}
+			tc.SyncThreads()
+		}
+		if t == 0 {
+			tc.Store(out, outIdx, tc.SharedLoad(0))
+		}
+	})
+	return err
+}
+
+// SumReduceKahan is SumReduce with Neumaier-compensated per-thread
+// strided accumulation. The shared-memory tree is already pairwise (error
+// grows O(log T)); the linear strided fold is where a single thread adds
+// n/T values in order and loses low bits, so that is where the
+// compensation goes. The sum and carry are two per-thread registers — no
+// extra shared memory, no extra global traffic — at ~4 flops per element
+// instead of 1, which the charge model reflects. This is the default
+// per-bandwidth score reduction; plain SumReduce remains the ablation
+// mirror of the paper's original kernel.
+func SumReduceKahan(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outIdx, blockDim int) error {
+	if err := checkReduceArgs(dev, n, blockDim); err != nil {
+		return err
+	}
+	attrs := gpu.KernelAttrs{
+		Name:        "sumReduceKahan",
+		UsesBarrier: true,
+		SharedElems: blockDim,
+	}
+	cfg := gpu.LaunchConfig{GridDim: 1, BlockDim: blockDim}
+	_, err := dev.Launch(attrs, cfg, func(tc *gpu.ThreadCtx) {
+		t := tc.ThreadIdx()
+		T := tc.BlockDim()
+		var s mathx.NeumaierAccumulator32
+		for j := t; j < n; j += T {
+			s.Add(tc.Load(in, off+j))
+			tc.ChargeOps(4)
+		}
+		tc.SharedStore(t, s.Sum())
+		tc.SyncThreads()
 		for stride := T / 2; stride > 0; stride /= 2 {
 			if t < stride {
 				tc.SharedStore(t, tc.SharedLoad(t)+tc.SharedLoad(t+stride))
@@ -350,7 +394,12 @@ func ArgMinIndexReduce(dev *gpu.Device, scores gpu.Buffer, k int, bw *gpu.ConstS
 		for j := t; j < k; j += T {
 			s := tc.Load(scores, j)
 			tc.ChargeOps(1)
-			if s < best || (s == best && bidx >= 0 && float32(j) < bidx) {
+			// bidx < 0 must also accept: with every score +Inf (all
+			// bandwidths degenerate) the first comparison is Inf < Inf =
+			// false, and requiring bidx >= 0 on the tie branch meant no
+			// index was ever recorded — the reduction returned Index -1
+			// where the host arg-min returns 0.
+			if s < best || (s == best && (bidx < 0 || float32(j) < bidx)) {
 				best, bidx = s, float32(j)
 			}
 		}

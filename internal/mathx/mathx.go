@@ -132,6 +132,60 @@ func (k *KahanAccumulator) Sum() float64 { return k.sum }
 // Reset clears the accumulator to zero.
 func (k *KahanAccumulator) Reset() { k.sum, k.c = 0, 0 }
 
+// NeumaierAccumulator incrementally computes a compensated sum using
+// Neumaier's improvement on Kahan's scheme: the branch on |sum| vs |x|
+// preserves the low-order bits even when an incoming term is larger than
+// the running total, which plain Kahan loses. This is the accumulator the
+// sorted sweeps use for their bandwidth prefix sums, where a large common
+// offset in Y makes the running totals cancel against later terms. The
+// zero value is ready to use.
+type NeumaierAccumulator struct {
+	sum, c float64
+}
+
+// Add folds x into the running compensated sum.
+func (a *NeumaierAccumulator) Add(x float64) {
+	t := a.sum + x
+	if math.Abs(a.sum) >= math.Abs(x) {
+		a.c += (a.sum - t) + x
+	} else {
+		a.c += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Sum returns the current compensated total.
+func (a *NeumaierAccumulator) Sum() float64 { return a.sum + a.c }
+
+// Reset clears the accumulator to zero.
+func (a *NeumaierAccumulator) Reset() { a.sum, a.c = 0, 0 }
+
+// NeumaierAccumulator32 is the single-precision NeumaierAccumulator,
+// used by the simulated-device sweeps: on a real GPU the sum and the
+// compensation term are two per-thread registers, so the scheme costs no
+// shared memory and no extra global traffic. The zero value is ready to
+// use.
+type NeumaierAccumulator32 struct {
+	sum, c float32
+}
+
+// Add folds x into the running compensated sum.
+func (a *NeumaierAccumulator32) Add(x float32) {
+	t := a.sum + x
+	if Abs32(a.sum) >= Abs32(x) {
+		a.c += (a.sum - t) + x
+	} else {
+		a.c += (x - t) + a.sum
+	}
+	a.sum = t
+}
+
+// Sum returns the current compensated total.
+func (a *NeumaierAccumulator32) Sum() float32 { return a.sum + a.c }
+
+// Reset clears the accumulator to zero.
+func (a *NeumaierAccumulator32) Reset() { a.sum, a.c = 0, 0 }
+
 // pairwiseCutoff is the block size below which PairwiseSum falls back to a
 // straight loop; 128 keeps the recursion shallow without hurting accuracy.
 const pairwiseCutoff = 128

@@ -319,3 +319,67 @@ func TestSumOrderIndependenceProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestNeumaierBeatsKahanOnLargeTerms(t *testing.T) {
+	// The classic case Kahan loses and Neumaier keeps: a term much larger
+	// than the running sum followed by its near-negation. The exact total
+	// of {1, 1e100, 1, -1e100} is 2.
+	var n NeumaierAccumulator
+	for _, v := range []float64{1, 1e100, 1, -1e100} {
+		n.Add(v)
+	}
+	if got := n.Sum(); got != 2 {
+		t.Errorf("Neumaier sum = %g, want 2", got)
+	}
+}
+
+func TestNeumaierAccumulatorMatchesKahanSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = 1e8 + rng.NormFloat64() // large common offset
+	}
+	var n NeumaierAccumulator
+	for _, v := range xs {
+		n.Add(v)
+	}
+	if RelDiff(n.Sum(), KahanSum(xs)) > 1e-15 {
+		t.Errorf("Neumaier %g vs Kahan %g", n.Sum(), KahanSum(xs))
+	}
+	n.Reset()
+	if n.Sum() != 0 {
+		t.Errorf("Reset left %g", n.Sum())
+	}
+}
+
+func TestNeumaier32BeatsPlainFloat32(t *testing.T) {
+	// Accumulating n copies of a large-offset value in plain float32
+	// drifts by O(n·eps); the compensated accumulator must track the
+	// float64 reference far more closely.
+	rng := rand.New(rand.NewSource(11))
+	n := 20000
+	var plain float32
+	var comp NeumaierAccumulator32
+	var ref float64
+	for i := 0; i < n; i++ {
+		v := float32(100 + rng.NormFloat64())
+		plain += v
+		comp.Add(v)
+		ref += float64(v)
+	}
+	plainErr := math.Abs(float64(plain) - ref)
+	compErr := math.Abs(float64(comp.Sum()) - ref)
+	if compErr >= plainErr {
+		t.Errorf("compensated error %g not below plain error %g", compErr, plainErr)
+	}
+	// The compensated float32 sum should be within a few ULP of the
+	// float64 total rounded to float32.
+	if !WithinULP32(comp.Sum(), float32(ref), 4) {
+		t.Errorf("compensated sum %g is %d ULP from reference %g",
+			comp.Sum(), ULPDiff32(comp.Sum(), float32(ref)), float32(ref))
+	}
+	comp.Reset()
+	if comp.Sum() != 0 {
+		t.Errorf("Reset left %g", comp.Sum())
+	}
+}

@@ -41,6 +41,11 @@ type SelectRequest struct {
 	GridMax float64 `json:"grid_max,omitempty"`
 	// KeepScores returns CV(h) for every grid point.
 	KeepScores bool `json:"keep_scores,omitempty"`
+	// Stable toggles compensated summation in the grid-search hot loops
+	// (kernreg.Stable). Omitted or null means on — the accuracy default;
+	// false requests the paper's plain float32/float64 accumulation for
+	// ablation runs.
+	Stable *bool `json:"stable,omitempty"`
 }
 
 // SelectResponse is the body of a successful /v1/select.
@@ -171,6 +176,9 @@ func decodeSelectRequest(body io.Reader, cfg Config) (*SelectRequest, []kernreg.
 	}
 	if req.KeepScores {
 		opts = append(opts, kernreg.KeepScores())
+	}
+	if req.Stable != nil {
+		opts = append(opts, kernreg.Stable(*req.Stable))
 	}
 	return &req, opts, nil
 }

@@ -121,6 +121,100 @@ func TestFitPredictEndpoint(t *testing.T) {
 	}
 }
 
+func TestCheckSampleErrorMessages(t *testing.T) {
+	// Locks the field name, index, and status of every checkSample
+	// rejection — in particular that the y-loop reports "y", not "x",
+	// and the offending index within y.
+	cfg := Config{MaxN: 8}
+	nan := math.NaN()
+	inf := math.Inf(1)
+	big := make([]float64, 9)
+	cases := []struct {
+		name       string
+		x, y       []float64
+		wantStatus int
+		wantMsg    string
+	}{
+		{"length mismatch", []float64{1, 2, 3}, []float64{1, 2}, http.StatusBadRequest, "x has 3 observations, y has 2"},
+		{"too few", []float64{1}, []float64{1}, http.StatusBadRequest, "need at least 2 observations, have 1"},
+		{"over limit", big, big, http.StatusRequestEntityTooLarge, "n=9 exceeds the limit of 8 observations"},
+		{"nan in x", []float64{1, nan}, []float64{1, 2}, http.StatusBadRequest, "x[1] is not finite"},
+		{"inf in x", []float64{inf, 2}, []float64{1, 2}, http.StatusBadRequest, "x[0] is not finite"},
+		{"nan in y", []float64{1, 2}, []float64{1, nan}, http.StatusBadRequest, "y[1] is not finite"},
+		{"neg inf in y", []float64{1, 2, 3}, []float64{1, 2, -inf}, http.StatusBadRequest, "y[2] is not finite"},
+		{"bad x reported before bad y", []float64{nan, 2}, []float64{1, nan}, http.StatusBadRequest, "x[0] is not finite"},
+		{"valid", []float64{1, 2, 3}, []float64{4, 5, 6}, 0, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			herr := checkSample(tc.x, tc.y, cfg)
+			if tc.wantStatus == 0 {
+				if herr != nil {
+					t.Fatalf("checkSample = %q, want nil", herr.msg)
+				}
+				return
+			}
+			if herr == nil {
+				t.Fatalf("checkSample = nil, want status %d %q", tc.wantStatus, tc.wantMsg)
+			}
+			if herr.status != tc.wantStatus {
+				t.Errorf("status = %d, want %d", herr.status, tc.wantStatus)
+			}
+			if herr.msg != tc.wantMsg {
+				t.Errorf("msg = %q, want %q", herr.msg, tc.wantMsg)
+			}
+		})
+	}
+}
+
+func TestSelectStableFlag(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	x, y := testdata(200, 3)
+	// sorted-f32 is the single-precision path where the flag changes the
+	// arithmetic; both settings must round-trip to the direct call.
+	for _, stable := range []bool{true, false} {
+		req := SelectRequest{X: x, Y: y, Method: "sorted-f32", GridSize: 32, Stable: &stable}
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/select", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stable=%v: status %d: %s", stable, resp.StatusCode, body)
+		}
+		var got SelectResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatal(err)
+		}
+		want, err := kernreg.SelectBandwidth(x, y,
+			kernreg.WithMethod(kernreg.MethodSortedF32), kernreg.GridSize(32), kernreg.Stable(stable))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Bandwidth != want.Bandwidth || got.Index != want.Index || got.CV == nil || *got.CV != want.CV {
+			t.Errorf("stable=%v: served (h=%g idx=%d cv=%v) differs from direct (h=%g idx=%d cv=%g)",
+				stable, got.Bandwidth, got.Index, got.CV, want.Bandwidth, want.Index, want.CV)
+		}
+	}
+	// Omitting the flag must match the default (compensated) path.
+	resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/select", SelectRequest{X: x, Y: y, Method: "sorted-f32", GridSize: 32})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var got SelectResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	want, err := kernreg.SelectBandwidth(x, y, kernreg.WithMethod(kernreg.MethodSortedF32), kernreg.GridSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bandwidth != want.Bandwidth || got.CV == nil || *got.CV != want.CV {
+		t.Errorf("default stable: served (h=%g cv=%v) differs from direct (h=%g cv=%g)",
+			got.Bandwidth, got.CV, want.Bandwidth, want.CV)
+	}
+}
+
 func TestMalformedBodiesAre4xx(t *testing.T) {
 	srv := New(Config{Workers: 1, MaxN: 100, MaxGrid: 64})
 	ts := httptest.NewServer(srv.Handler())

@@ -133,7 +133,7 @@ func selectLocalLinear(ctx context.Context, x, y []float64, c config) (Selection
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: sorted local-linear search supports the epanechnikov kernel only")
 		}
-		r, err = bandwidth.SortedGridSearchLocalLinearContext(ctx, x, y, g)
+		r, err = bandwidth.SortedGridSearchLocalLinearStabilityContext(ctx, x, y, g, c.stability())
 	case MethodNaive:
 		r, err = bandwidth.NaiveGridSearchLocalLinearContext(ctx, x, y, g, c.kern)
 	default:

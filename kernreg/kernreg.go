@@ -100,6 +100,15 @@ type config struct {
 	workers    int
 	starts     int
 	keepScores bool
+	stable     bool
+}
+
+// stability maps the stable flag to the host sweeps' summation mode.
+func (c config) stability() bandwidth.Stability {
+	if c.stable {
+		return bandwidth.Compensated
+	}
+	return bandwidth.Uncompensated
 }
 
 // Option configures SelectBandwidth.
@@ -176,6 +185,19 @@ func KeepScores() Option {
 	return func(c *config) error { c.keepScores = true; return nil }
 }
 
+// Stable toggles compensated (Neumaier) summation in the grid-search hot
+// loops. It defaults to on: the sorted methods' running prefix sums and
+// the device pipelines' score reductions are exactly the "fast sum
+// updating" arithmetic whose cancellation error grows with n, and
+// compensation bounds it for a few percent of extra flops. Stable(false)
+// restores the paper's plain accumulation, bit-faithful to the original
+// C/CUDA programs — useful for ablation and agreement studies.
+// MethodNaive and MethodNumerical re-evaluate the objective from scratch
+// at every bandwidth (no running sums), so the flag is a no-op there.
+func Stable(on bool) Option {
+	return func(c *config) error { c.stable = on; return nil }
+}
+
 // Selection is the outcome of a bandwidth search.
 type Selection struct {
 	// Bandwidth is the selected smoothing parameter.
@@ -212,7 +234,7 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c := config{method: MethodSorted, kern: kernel.Epanechnikov, gridSize: 50}
+	c := config{method: MethodSorted, kern: kernel.Epanechnikov, gridSize: 50, stable: true}
 	for _, opt := range opts {
 		if err := opt(&c); err != nil {
 			return Selection{}, err
@@ -243,29 +265,33 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 	var r bandwidth.Result
 	switch c.method {
 	case MethodSorted:
-		r, err = bandwidth.SortedGridSearchKernelContext(ctx, x, y, g, c.kern)
+		r, err = bandwidth.SortedGridSearchKernelStabilityContext(ctx, x, y, g, c.kern, c.stability())
 	case MethodSortedParallel:
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: sorted-parallel currently supports the epanechnikov kernel only")
 		}
-		r, err = bandwidth.SortedGridSearchParallelContext(ctx, x, y, g, c.workers)
+		r, err = bandwidth.SortedGridSearchParallelStabilityContext(ctx, x, y, g, c.workers, c.stability())
 	case MethodSortedF32:
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: sorted-f32 supports the epanechnikov kernel only")
 		}
-		r, err = core.SortedSequentialContext(ctx, x, y, g)
+		if c.stable {
+			r, err = core.SortedSequentialContext(ctx, x, y, g)
+		} else {
+			r, err = core.SortedSequentialUncompensatedContext(ctx, x, y, g)
+		}
 	case MethodNaive:
 		r, err = bandwidth.NaiveGridSearchContext(ctx, x, y, g, c.kern)
 	case MethodGPU:
 		if c.kern != kernel.Epanechnikov && c.kern != kernel.Uniform && c.kern != kernel.Triangular {
 			return Selection{}, errors.New("kernreg: gpu method supports the epanechnikov, uniform and triangular kernels")
 		}
-		r, _, err = core.SelectGPUContext(ctx, x, y, g, core.GPUOptions{KeepScores: c.keepScores, Kernel: c.kern})
+		r, _, err = core.SelectGPUContext(ctx, x, y, g, core.GPUOptions{KeepScores: c.keepScores, Kernel: c.kern, Uncompensated: !c.stable})
 	case MethodGPUTiled:
 		if c.kern != kernel.Epanechnikov {
 			return Selection{}, errors.New("kernreg: gpu-tiled supports the epanechnikov kernel only")
 		}
-		r, _, _, err = core.SelectGPUTiledContext(ctx, x, y, g, core.TiledOptions{KeepScores: c.keepScores})
+		r, _, _, err = core.SelectGPUTiledContext(ctx, x, y, g, core.TiledOptions{KeepScores: c.keepScores, Uncompensated: !c.stable})
 	default:
 		return Selection{}, fmt.Errorf("kernreg: unsupported method %v", c.method)
 	}
