@@ -10,6 +10,8 @@
 //	bwbench -full              # measure up to the paper's n = 20,000
 //	                           # (otherwise large n is extrapolated)
 //	bwbench -runs 5            # the paper's 5-repetition protocol
+//	bwbench -twopointer        # two-pointer vs sorted head-to-head (JSON)
+//	bwbench -twopointer -o BENCH_4.json
 //
 // Columns marked * are the GPU simulator's modelled device seconds;
 // columns marked ^ are extrapolated along the program's complexity curve
@@ -57,8 +59,13 @@ func run() error {
 		seed    = flag.Int64("seed", 42, "data seed")
 		paper   = flag.Bool("paper", true, "also print the paper's published numbers")
 		extra   = flag.Bool("gonative", false, "include the Go-native parallel selectors in Table I")
+		twoPtr  = flag.Bool("twopointer", false, "benchmark the two-pointer sweep against the sorted search and emit JSON")
+		outPath = flag.String("o", "", "output file for -twopointer JSON (default stdout)")
 	)
 	flag.Parse()
+	if *twoPtr {
+		return runTwoPointer(*seed, *outPath)
+	}
 	if !*table1 && !*table2a && !*table2b && !*figure1 && !*verdict && !*future {
 		*all = true
 	}

@@ -10,6 +10,12 @@
 // GET /metrics. On SIGTERM or SIGINT the listener stops accepting,
 // in-flight and queued selections run to completion (bounded by
 // -drain-timeout), and the process exits 0.
+//
+// Passing -debug-addr starts a second listener serving net/http/pprof
+// (/debug/pprof/...) so CPU and allocation profiles can be pulled from a
+// running daemon. It is opt-in and should be bound to loopback: the
+// profiling endpoints expose internals and must never share the public
+// listener.
 package main
 
 import (
@@ -18,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,8 +46,28 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful shutdown budget")
 		maxN         = flag.Int("max-n", 0, "max observations per request (0 = 100000)")
 		maxGrid      = flag.Int("max-grid", 0, "max grid points per request (0 = 2048)")
+		debugAddr    = flag.String("debug-addr", "", "optional loopback address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
+
+	if *debugAddr != "" {
+		// An explicit mux rather than http.DefaultServeMux: importing
+		// net/http/pprof registers on the default mux, and serving that
+		// would expose whatever else the process (or a dependency)
+		// registered there.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			fmt.Fprintf(os.Stderr, "kernregd: pprof on %s\n", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				fmt.Fprintf(os.Stderr, "kernregd: pprof listener: %v\n", err)
+			}
+		}()
+	}
 
 	srv := serve.New(serve.Config{
 		Workers:    *workers,

@@ -28,25 +28,43 @@ type Grid struct {
 // NewGrid returns a grid of k evenly spaced bandwidths from min to max
 // inclusive. min must be positive and strictly less than max unless k==1.
 func NewGrid(min, max float64, k int) (Grid, error) {
+	return NewGridInto(min, max, k, nil)
+}
+
+// NewGridInto is NewGrid writing into buf when it has capacity for k
+// bandwidths (allocating only otherwise). It exists for the pooled
+// zero-allocation selection path: the returned Grid aliases buf, so the
+// caller owns its lifetime.
+func NewGridInto(min, max float64, k int, buf []float64) (Grid, error) {
 	if k < 1 {
 		return Grid{}, ErrEmptyGrid
 	}
 	if !(min > 0) {
 		return Grid{}, fmt.Errorf("bandwidth: minimum bandwidth must be positive, got %g", min)
 	}
+	h := gridStorage(buf, k)
 	if k == 1 {
-		return Grid{H: []float64{min}}, nil
+		h[0] = min
+		return Grid{H: h}, nil
 	}
 	if min >= max {
 		return Grid{}, fmt.Errorf("bandwidth: need min < max, got [%g, %g]", min, max)
 	}
-	h := make([]float64, k)
 	step := (max - min) / float64(k-1)
 	for i := range h {
 		h[i] = min + float64(i)*step
 	}
 	h[k-1] = max
 	return Grid{H: h}, nil
+}
+
+// gridStorage returns a length-k slice, reusing buf's backing array
+// when possible.
+func gridStorage(buf []float64, k int) []float64 {
+	if cap(buf) >= k {
+		return buf[:k]
+	}
+	return make([]float64, k)
 }
 
 // DefaultGrid builds the paper's default grid for the sample x: the
@@ -56,6 +74,12 @@ func NewGrid(min, max float64, k int) (Grid, error) {
 // ... and the minimum bandwidth is that domain divided by the number of
 // bandwidths being considered").
 func DefaultGrid(x []float64, k int) (Grid, error) {
+	return DefaultGridInto(x, k, nil)
+}
+
+// DefaultGridInto is DefaultGrid writing into buf when it has capacity
+// for k bandwidths — the pooled counterpart, like NewGridInto.
+func DefaultGridInto(x []float64, k int, buf []float64) (Grid, error) {
 	if k < 1 {
 		return Grid{}, ErrEmptyGrid
 	}
@@ -66,7 +90,7 @@ func DefaultGrid(x []float64, k int) (Grid, error) {
 	if !(domain > 0) {
 		return Grid{}, fmt.Errorf("bandwidth: X has zero domain; all observations identical")
 	}
-	h := make([]float64, k)
+	h := gridStorage(buf, k)
 	for j := 1; j <= k; j++ {
 		h[j-1] = domain * float64(j) / float64(k)
 	}

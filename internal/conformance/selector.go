@@ -159,8 +159,24 @@ func Registry() []Selector {
 			},
 		},
 		{
+			Name: "twopointer", Class: Exact, Family: LocalConstant, MinN: 2,
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.TwoPointerGridSearchKernelContext(ctx, x, y, g, kernel.Epanechnikov)
+			},
+		},
+		{
+			Name: "twopointer-parallel", Class: Exact, Family: LocalConstant, MinN: 2,
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.TwoPointerGridSearchParallelContext(ctx, x, y, g, 4)
+			},
+		},
+		{
 			Name: "kernreg-sorted", Class: Exact, Family: LocalConstant, MinN: 2, MinK: 2,
 			Run: runPublicAPI(kernreg.MethodSorted),
+		},
+		{
+			Name: "kernreg-twopointer", Class: Exact, Family: LocalConstant, MinN: 2, MinK: 2,
+			Run: runPublicAPI(kernreg.MethodTwoPointer),
 		},
 		{
 			Name: "kernreg-naive", Class: Exact, Family: LocalConstant, MinN: 2, MinK: 2,
@@ -170,6 +186,12 @@ func Registry() []Selector {
 			Name: "sorted-f32", Class: Float32, Family: LocalConstant, MinN: 2,
 			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
 				return core.SortedSequentialContext(ctx, x, y, g)
+			},
+		},
+		{
+			Name: "twopointer-f32", Class: Float32, Family: LocalConstant, MinN: 2,
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return core.TwoPointerSequentialContext(ctx, x, y, g)
 			},
 		},
 		{
@@ -210,6 +232,12 @@ func Registry() []Selector {
 			Name: "ll-sorted", Class: Exact, Family: LocalLinear, MinN: 2,
 			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
 				return bandwidth.SortedGridSearchLocalLinearContext(ctx, x, y, g)
+			},
+		},
+		{
+			Name: "ll-twopointer", Class: Exact, Family: LocalLinear, MinN: 2,
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				return bandwidth.TwoPointerGridSearchLocalLinearContext(ctx, x, y, g)
 			},
 		},
 		{

@@ -31,31 +31,48 @@ var goldenCases = []struct {
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata/golden.json with the current selections")
 
-// goldenEntry is one stored selection: the float64 sorted grid search on
-// the seeded paper DGP, recorded bit-exactly.
+// goldenEntry is one stored selection on the seeded paper DGP, recorded
+// bit-exactly. Selector names which backend produced it: the float64
+// sorted grid search, its two-pointer replacement, and the float32
+// two-pointer sequential program.
 type goldenEntry struct {
-	N     int     `json:"n"`
-	K     int     `json:"k"`
-	Seed  int64   `json:"seed"`
-	Index int     `json:"index"`
-	H     float64 `json:"h"`
-	CV    float64 `json:"cv"`
+	Selector string  `json:"selector"`
+	N        int     `json:"n"`
+	K        int     `json:"k"`
+	Seed     int64   `json:"seed"`
+	Index    int     `json:"index"`
+	H        float64 `json:"h"`
+	CV       float64 `json:"cv"`
+}
+
+// goldenSelectors are the backends pinned in testdata/golden.json. The
+// "sorted" entries predate the two-pointer family and must never drift
+// when new selectors are added.
+var goldenSelectors = []struct {
+	name string
+	run  func(x, y []float64, g bandwidth.Grid) (bandwidth.Result, error)
+}{
+	{"sorted", bandwidth.SortedGridSearch},
+	{"twopointer", bandwidth.TwoPointerGridSearch},
+	{"twopointer-f32", TwoPointerSequential},
 }
 
 func currentGolden(t *testing.T) []goldenEntry {
 	t.Helper()
-	out := make([]goldenEntry, 0, len(goldenCases))
+	out := make([]goldenEntry, 0, len(goldenCases)*len(goldenSelectors))
 	for _, c := range goldenCases {
 		d := data.GeneratePaper(c.n, c.seed)
 		g, err := bandwidth.DefaultGrid(d.X, c.k)
 		if err != nil {
 			t.Fatal(err)
 		}
-		r, err := bandwidth.SortedGridSearch(d.X, d.Y, g)
-		if err != nil {
-			t.Fatal(err)
+		for _, s := range goldenSelectors {
+			r, err := s.run(d.X, d.Y, g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, goldenEntry{Selector: s.name, N: c.n, K: c.k, Seed: c.seed, Index: r.Index, H: r.H, CV: r.CV})
 		}
-		out = append(out, goldenEntry{N: c.n, K: c.k, Seed: c.seed, Index: r.Index, H: r.H, CV: r.CV})
 	}
 	return out
 }
@@ -93,10 +110,10 @@ func TestGoldenSelections(t *testing.T) {
 	}
 	for i, w := range got {
 		if w != want[i] {
-			t.Errorf("golden drift at n=%d k=%d seed=%d:\n  stored:  index=%d h=%v cv=%v\n  current: index=%d h=%v cv=%v\n"+
+			t.Errorf("golden drift for %s at n=%d k=%d seed=%d:\n  stored:  index=%d h=%v cv=%v\n  current: index=%d h=%v cv=%v\n"+
 				"A selection changed. Before refreshing, run `go run ./cmd/conform` to confirm every backend still agrees with the float64 oracle under the tolerance policy; "+
 				"if the drift is intended, refresh with `go test ./internal/core -run TestGoldenSelections -update`.",
-				w.N, w.K, w.Seed, want[i].Index, want[i].H, want[i].CV, w.Index, w.H, w.CV)
+				w.Selector, w.N, w.K, w.Seed, want[i].Index, want[i].H, want[i].CV, w.Index, w.H, w.CV)
 		}
 	}
 }
@@ -132,10 +149,24 @@ func TestGoldenAllSelectorsAgree(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
+		tp, err := bandwidth.TwoPointerGridSearch(d.X, d.Y, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpPar, err := bandwidth.TwoPointerGridSearchParallel(d.X, d.Y, g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tpF32, err := TwoPointerSequential(d.X, d.Y, g)
+		if err != nil {
+			t.Fatal(err)
+		}
 		idx := sorted.Index
 		for name, got := range map[string]int{
 			"seqC": seq.Index, "gpu": gpuRes.Index, "tiled": tiledRes.Index,
 			"multi": multi.Index, "parallel": par.Index,
+			"twopointer": tp.Index, "twopointer-parallel": tpPar.Index,
+			"twopointer-f32": tpF32.Index,
 		} {
 			if got != idx {
 				t.Errorf("n=%d k=%d seed=%d: %s selected %d, sorted selected %d",

@@ -102,6 +102,7 @@ func FuzzSelectRequestDecode(f *testing.F) {
 			valid := map[string]bool{
 				"sorted": true, "sorted-parallel": true, "sorted-f32": true,
 				"naive": true, "numerical": true, "gpu": true, "gpu-tiled": true,
+				"twopointer": true, "twopointer-parallel": true, "twopointer-f32": true,
 			}
 			if !valid[req.Method] {
 				t.Fatalf("accepted unknown method %q", req.Method)

@@ -5,8 +5,11 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/bandwidth"
 )
 
 // Metrics are per-Server expvar counters. They are deliberately *not*
@@ -64,6 +67,24 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		lat[name] = json.RawMessage(h.String())
 	}
 	out["latency"] = lat
+	// Allocation and GC observability: the pooled two-pointer path exists
+	// to keep steady-state selections off the heap, so /metrics exposes
+	// both the GC pressure (process-wide) and the workspace pool's
+	// hit/miss split to verify the pooling is actually working in
+	// production, not just in the benchmark.
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	out["gc"] = map[string]any{
+		"num_gc":         ms.NumGC,
+		"pause_total_ns": ms.PauseTotalNs,
+		"heap_alloc":     ms.HeapAlloc,
+		"total_alloc":    ms.TotalAlloc,
+	}
+	hits, misses := bandwidth.PoolStats()
+	out["workspace_pool"] = map[string]any{
+		"hits":   hits,
+		"misses": misses,
+	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)

@@ -569,6 +569,57 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if _, ok := m["latency"].(map[string]any)["select"]; !ok {
 		t.Fatalf("metrics missing select latency histogram: %s", body)
 	}
+	gc, ok := m["gc"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing gc block: %s", body)
+	}
+	for _, key := range []string{"num_gc", "pause_total_ns", "heap_alloc", "total_alloc"} {
+		if _, ok := gc[key]; !ok {
+			t.Fatalf("metrics gc block missing %q: %s", key, body)
+		}
+	}
+	pool, ok := m["workspace_pool"].(map[string]any)
+	if !ok {
+		t.Fatalf("metrics missing workspace_pool block: %s", body)
+	}
+	for _, key := range []string{"hits", "misses"} {
+		if _, ok := pool[key]; !ok {
+			t.Fatalf("metrics workspace_pool block missing %q: %s", key, body)
+		}
+	}
+}
+
+// TestSelectTwoPointerMethods drives the two-pointer selector family
+// end-to-end through the JSON API and checks each agrees with the
+// default sorted selection on the same request.
+func TestSelectTwoPointerMethods(t *testing.T) {
+	srv := New(Config{Workers: 2})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Drain(context.Background())
+
+	x, y := testdata(200, 3)
+	base, err := kernreg.SelectBandwidth(x, y, kernreg.GridSize(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, method := range []string{"twopointer", "twopointer-parallel", "twopointer-f32"} {
+		resp, body := postJSON(t, ts.Client(), ts.URL+"/v1/select",
+			SelectRequest{X: x, Y: y, Method: method, GridSize: 32})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", method, resp.StatusCode, body)
+		}
+		var got SelectResponse
+		if err := json.Unmarshal(body, &got); err != nil {
+			t.Fatalf("%s: bad response body %q: %v", method, body, err)
+		}
+		if got.Method != method {
+			t.Fatalf("%s: response method %q", method, got.Method)
+		}
+		if got.Index != base.Index {
+			t.Fatalf("%s selected index %d, sorted selected %d", method, got.Index, base.Index)
+		}
+	}
 }
 
 // TestMethodNotAllowed pins the Go 1.22 pattern routing: wrong verbs

@@ -136,6 +136,11 @@ func selectLocalLinear(ctx context.Context, x, y []float64, c config) (Selection
 		r, err = bandwidth.SortedGridSearchLocalLinearStabilityContext(ctx, x, y, g, c.stability())
 	case MethodNaive:
 		r, err = bandwidth.NaiveGridSearchLocalLinearContext(ctx, x, y, g, c.kern)
+	case MethodTwoPointer:
+		if c.kern != kernel.Epanechnikov {
+			return Selection{}, errors.New("kernreg: two-pointer local-linear search supports the epanechnikov kernel only")
+		}
+		r, err = bandwidth.TwoPointerGridSearchLocalLinearStabilityContext(ctx, x, y, g, c.stability())
 	default:
 		return Selection{}, fmt.Errorf("kernreg: method %v does not support the local-linear estimator", c.method)
 	}

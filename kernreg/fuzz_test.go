@@ -25,6 +25,9 @@ var fuzzMethods = []kernreg.Method{
 	kernreg.MethodNumerical,
 	kernreg.MethodGPU,
 	kernreg.MethodGPUTiled,
+	kernreg.MethodTwoPointer,
+	kernreg.MethodTwoPointerParallel,
+	kernreg.MethodTwoPointerF32,
 }
 
 // encodeSample packs up to max (x, y) pairs as little-endian float64

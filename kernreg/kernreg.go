@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/bandwidth"
 	"repro/internal/baselines"
@@ -54,6 +55,17 @@ const (
 	// matrices) on the simulated GPU: identical results, O(C·n) device
 	// memory.
 	MethodGPUTiled
+	// MethodTwoPointer replaces the per-observation sorts of
+	// MethodSorted with one global sort plus a two-pointer neighbour
+	// merge per observation: O(n log n + n·(n+k)) total instead of
+	// O(n² log n), same objective, same grid.
+	MethodTwoPointer
+	// MethodTwoPointerParallel shards the two-pointer sweep across
+	// goroutines over the single shared sorted sample.
+	MethodTwoPointerParallel
+	// MethodTwoPointerF32 is the single-precision two-pointer variant:
+	// Program 3's arithmetic with the global-sort enumeration.
+	MethodTwoPointerF32
 )
 
 // String returns the method name.
@@ -73,6 +85,12 @@ func (m Method) String() string {
 		return "gpu"
 	case MethodGPUTiled:
 		return "gpu-tiled"
+	case MethodTwoPointer:
+		return "twopointer"
+	case MethodTwoPointerParallel:
+		return "twopointer-parallel"
+	case MethodTwoPointerF32:
+		return "twopointer-f32"
 	default:
 		return fmt.Sprintf("kernreg.Method(%d)", int(m))
 	}
@@ -80,13 +98,18 @@ func (m Method) String() string {
 
 // ParseMethod returns the Method named by s.
 func ParseMethod(s string) (Method, error) {
-	for _, m := range []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled} {
+	for _, m := range []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled, MethodTwoPointer, MethodTwoPointerParallel, MethodTwoPointerF32} {
 		if m.String() == s {
 			return m, nil
 		}
 	}
 	return 0, fmt.Errorf("kernreg: unknown method %q", s)
 }
+
+// configPool recycles the options struct: passing &config to the Option
+// closures makes it escape, which would be the one heap allocation left
+// on the Pooled fast path.
+var configPool = sync.Pool{New: func() any { return new(config) }}
 
 // config collects the selection options.
 type config struct {
@@ -101,6 +124,7 @@ type config struct {
 	starts     int
 	keepScores bool
 	stable     bool
+	pooled     bool
 }
 
 // stability maps the stable flag to the host sweeps' summation mode.
@@ -198,6 +222,18 @@ func Stable(on bool) Option {
 	return func(c *config) error { c.stable = on; return nil }
 }
 
+// Pooled enables the zero-allocation fast path for MethodTwoPointer:
+// every scratch slice — the sorted copies, the neighbour buffers, the
+// score accumulator, and the candidate grid itself — comes from a
+// capacity-keyed sync.Pool, so steady-state selections allocate nothing
+// after warm-up. The trade-off is a leaner Selection: Grid and Scores
+// are left nil (their backing memory returns to the pool before
+// SelectBandwidth returns). Pooled is rejected together with KeepScores
+// or with any method other than MethodTwoPointer.
+func Pooled() Option {
+	return func(c *config) error { c.pooled = true; return nil }
+}
+
 // Selection is the outcome of a bandwidth search.
 type Selection struct {
 	// Bandwidth is the selected smoothing parameter.
@@ -234,12 +270,15 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	c := config{method: MethodSorted, kern: kernel.Epanechnikov, gridSize: 50, stable: true}
+	cp := configPool.Get().(*config)
+	defer configPool.Put(cp)
+	*cp = config{method: MethodSorted, kern: kernel.Epanechnikov, gridSize: 50, stable: true}
 	for _, opt := range opts {
-		if err := opt(&c); err != nil {
+		if err := opt(cp); err != nil {
 			return Selection{}, err
 		}
 	}
+	c := *cp
 	if err := validateSample(x, y); err != nil {
 		return Selection{}, err
 	}
@@ -257,6 +296,15 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 	}
 	if c.method == MethodNumerical {
 		return selectNumerical(ctx, x, y, c)
+	}
+	if c.pooled {
+		if c.method != MethodTwoPointer {
+			return Selection{}, fmt.Errorf("kernreg: Pooled supports MethodTwoPointer only, not %v", c.method)
+		}
+		if c.keepScores {
+			return Selection{}, errors.New("kernreg: Pooled and KeepScores are mutually exclusive (scores live in pooled memory)")
+		}
+		return selectTwoPointerPooled(ctx, x, y, c)
 	}
 	g, err := buildGrid(x, c)
 	if err != nil {
@@ -292,6 +340,22 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 			return Selection{}, errors.New("kernreg: gpu-tiled supports the epanechnikov kernel only")
 		}
 		r, _, _, err = core.SelectGPUTiledContext(ctx, x, y, g, core.TiledOptions{KeepScores: c.keepScores, Uncompensated: !c.stable})
+	case MethodTwoPointer:
+		r, err = bandwidth.TwoPointerGridSearchKernelStabilityContext(ctx, x, y, g, c.kern, c.stability())
+	case MethodTwoPointerParallel:
+		if c.kern != kernel.Epanechnikov {
+			return Selection{}, errors.New("kernreg: twopointer-parallel currently supports the epanechnikov kernel only")
+		}
+		r, err = bandwidth.TwoPointerGridSearchParallelStabilityContext(ctx, x, y, g, c.workers, c.stability())
+	case MethodTwoPointerF32:
+		if c.kern != kernel.Epanechnikov {
+			return Selection{}, errors.New("kernreg: twopointer-f32 supports the epanechnikov kernel only")
+		}
+		if c.stable {
+			r, err = core.TwoPointerSequentialContext(ctx, x, y, g)
+		} else {
+			r, err = core.TwoPointerSequentialUncompensatedContext(ctx, x, y, g)
+		}
 	default:
 		return Selection{}, fmt.Errorf("kernreg: unsupported method %v", c.method)
 	}
@@ -338,6 +402,31 @@ func buildGrid(x []float64, c config) (bandwidth.Grid, error) {
 		return bandwidth.NewGrid(c.gridMin, c.gridMax, c.gridSize)
 	}
 	return bandwidth.DefaultGrid(x, c.gridSize)
+}
+
+// selectTwoPointerPooled is the Pooled() fast path: the grid, the sorted
+// copies, the neighbour buffers, and the score accumulator all live in a
+// pooled workspace, so a warm call performs zero heap allocations. The
+// Selection carries no Grid/Scores — their backing memory returns to the
+// pool here.
+func selectTwoPointerPooled(ctx context.Context, x, y []float64, c config) (Selection, error) {
+	ws := bandwidth.AcquireWorkspace(len(x), c.gridSize)
+	defer ws.Release()
+	var g bandwidth.Grid
+	var err error
+	if c.gridMin > 0 {
+		g, err = bandwidth.NewGridInto(c.gridMin, c.gridMax, c.gridSize, ws.GridBuf(c.gridSize))
+	} else {
+		g, err = bandwidth.DefaultGridInto(x, c.gridSize, ws.GridBuf(c.gridSize))
+	}
+	if err != nil {
+		return Selection{}, err
+	}
+	r, err := bandwidth.TwoPointerGridSearchInto(ctx, x, y, g, c.kern, c.stability(), ws)
+	if err != nil {
+		return Selection{}, err
+	}
+	return Selection{Bandwidth: r.H, CV: r.CV, Index: r.Index, Method: c.method}, nil
 }
 
 func selectNumerical(ctx context.Context, x, y []float64, c config) (Selection, error) {

@@ -41,7 +41,7 @@ func TestAllGridMethodsAgree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, m := range []Method{MethodSortedParallel, MethodSortedF32, MethodNaive, MethodGPU, MethodGPUTiled} {
+	for _, m := range []Method{MethodSortedParallel, MethodSortedF32, MethodNaive, MethodGPU, MethodGPUTiled, MethodTwoPointer, MethodTwoPointerParallel, MethodTwoPointerF32} {
 		sel, err := SelectBandwidth(x, y, GridSize(25), WithMethod(m))
 		if err != nil {
 			t.Fatalf("%v: %v", m, err)

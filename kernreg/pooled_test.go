@@ -1,0 +1,79 @@
+package kernreg
+
+import (
+	"testing"
+)
+
+func TestPooledMatchesUnpooled(t *testing.T) {
+	x, y := paperData(300, 17)
+	want, err := SelectBandwidth(x, y, WithMethod(MethodTwoPointer), GridSize(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := SelectBandwidth(x, y, WithMethod(MethodTwoPointer), GridSize(40), Pooled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bandwidth != want.Bandwidth || got.CV != want.CV || got.Index != want.Index {
+		t.Errorf("pooled selection %+v differs from unpooled %+v", got, want)
+	}
+	if got.Grid != nil || got.Scores != nil {
+		t.Errorf("pooled selection must not retain Grid/Scores: %+v", got)
+	}
+	if got.Method != MethodTwoPointer {
+		t.Errorf("pooled selection method = %v", got.Method)
+	}
+	// Explicit grid range too.
+	want, err = SelectBandwidth(x, y, WithMethod(MethodTwoPointer), GridSize(16), GridRange(0.1, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = SelectBandwidth(x, y, WithMethod(MethodTwoPointer), GridSize(16), GridRange(0.1, 2), Pooled())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Bandwidth != want.Bandwidth || got.Index != want.Index {
+		t.Errorf("pooled ranged selection %+v differs from unpooled %+v", got, want)
+	}
+}
+
+func TestPooledOptionValidation(t *testing.T) {
+	x, y := paperData(64, 2)
+	if _, err := SelectBandwidth(x, y, Pooled()); err == nil {
+		t.Error("Pooled with the default (sorted) method should be rejected")
+	}
+	if _, err := SelectBandwidth(x, y, WithMethod(MethodNaive), Pooled()); err == nil {
+		t.Error("Pooled with MethodNaive should be rejected")
+	}
+	if _, err := SelectBandwidth(x, y, WithMethod(MethodTwoPointer), Pooled(), KeepScores()); err == nil {
+		t.Error("Pooled with KeepScores should be rejected")
+	}
+}
+
+// TestPooledSteadyStateZeroAlloc is the allocation contract of the
+// Pooled fast path: after one warm-up call (which populates the
+// workspace pool), a selection through the full public API performs
+// zero heap allocations. The options slice is pre-built — the variadic
+// call site itself would otherwise allocate it per run, which is the
+// caller's choice, not the library's.
+func TestPooledSteadyStateZeroAlloc(t *testing.T) {
+	if testRaceEnabled {
+		t.Skip("race runtime adds bookkeeping allocations")
+	}
+	x, y := paperData(512, 9)
+	opts := []Option{WithMethod(MethodTwoPointer), GridSize(50), Pooled()}
+	if _, err := SelectBandwidth(x, y, opts...); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		if _, err := SelectBandwidth(x, y, opts...); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// A GC during the measurement may empty the sync.Pool and force one
+	// refill; amortised over 100 runs that is well under one object per
+	// op, while a genuinely allocating path costs several per op.
+	if avg >= 1 {
+		t.Errorf("pooled SelectBandwidth allocates %.2f objects/op steady-state, want 0", avg)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package kernreg
+
+// testRaceEnabled mirrors internal/harness's race detection for the
+// allocation assertions: the race runtime instruments sync.Pool and
+// adds bookkeeping allocations that would fail a strict 0-alloc check.
+const testRaceEnabled = false

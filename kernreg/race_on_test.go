@@ -1,0 +1,7 @@
+//go:build race
+
+package kernreg
+
+// testRaceEnabled reports that the race detector is compiled in; see
+// race_off_test.go.
+const testRaceEnabled = true
