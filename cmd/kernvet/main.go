@@ -1,0 +1,111 @@
+// Command kernvet runs the repository's static-analysis suite: five
+// project-specific analyzers that mechanically enforce invariants
+// earlier PRs established by convention (compensated sweep sums,
+// context plumbing, workspace pooling, serve's locking discipline, and
+// the float32 precision boundary).
+//
+// Usage:
+//
+//	kernvet [-json] [-checks compsum,ctxpoll,...] [-list] [packages]
+//
+// Packages default to ./... relative to the current module. Exit status
+// is 0 when clean, 1 when any finding is reported, and 2 on usage or
+// load errors — so CI can distinguish "found violations" from "could
+// not analyze".
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("kernvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		jsonOut   = fs.Bool("json", false, "emit findings as a JSON array instead of text")
+		checkList = fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+		list      = fs.Bool("list", false, "list available analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: kernvet [-json] [-checks name,...] [-list] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := checks.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *checkList != "" {
+		sel, ok := checks.ByName(strings.Split(*checkList, ","))
+		if !ok {
+			fmt.Fprintf(stderr, "kernvet: unknown check in -checks=%s (try -list)\n", *checkList)
+			return 2
+		}
+		analyzers = sel
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "kernvet: %v\n", err)
+		return 2
+	}
+	loader, err := analysis.NewLoader(wd)
+	if err != nil {
+		fmt.Fprintf(stderr, "kernvet: %v\n", err)
+		return 2
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "kernvet: %v\n", err)
+		return 2
+	}
+
+	diags := analysis.Run(pkgs, analyzers)
+
+	if *jsonOut {
+		// Always an array (possibly empty) so consumers can parse
+		// unconditionally.
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "kernvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+		if len(diags) > 0 {
+			fmt.Fprintf(stderr, "kernvet: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

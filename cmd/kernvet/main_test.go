@@ -1,0 +1,72 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs the CLI with stdout and stderr redirected to temp files
+// and returns the exit code plus both outputs.
+func capture(t *testing.T, args []string) (int, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	mk := func(name string) *os.File {
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("creating %s: %v", name, err)
+		}
+		return f
+	}
+	stdout, stderr := mk("stdout"), mk("stderr")
+	code := run(args, stdout, stderr)
+	read := func(f *os.File) string {
+		if err := f.Close(); err != nil {
+			t.Fatalf("closing capture file: %v", err)
+		}
+		b, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatalf("reading capture file: %v", err)
+		}
+		return string(b)
+	}
+	return code, read(stdout), read(stderr)
+}
+
+// TestJSONOutputParses is the bench-smoke guard's contract: -json must
+// emit a machine-parsable array (empty when clean) and exit 0 on a
+// clean tree.
+func TestJSONOutputParses(t *testing.T) {
+	code, stdout, stderr := capture(t, []string{"-json", "repro/internal/analysis/..."})
+	if code != 0 {
+		t.Fatalf("kernvet -json over the suite exited %d; stderr:\n%s", code, stderr)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\noutput:\n%s", err, stdout)
+	}
+	if len(diags) != 0 {
+		t.Errorf("expected a clean run, got %d findings: %v", len(diags), diags)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	code, stdout, _ := capture(t, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("-list exited %d", code)
+	}
+	for _, name := range []string{"compsum", "ctxpoll", "poolpair", "lockdefer", "narrowconv"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestUnknownCheckIsUsageError(t *testing.T) {
+	code, _, stderr := capture(t, []string{"-checks", "nonsense"})
+	if code != 2 {
+		t.Fatalf("-checks nonsense exited %d, want 2; stderr:\n%s", code, stderr)
+	}
+}

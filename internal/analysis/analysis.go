@@ -1,0 +1,183 @@
+// Package analysis is a small stdlib-only static-analysis framework for
+// this repository: a package loader built on `go list` and go/types, a
+// diagnostic engine with //kernvet:ignore suppression, and a
+// `// want "..."` expectation harness for analyzer tests.
+//
+// The module deliberately has zero external dependencies, so the usual
+// golang.org/x/tools/go/analysis machinery is unavailable; this package
+// reimplements the slice of it the project needs. Analyzers are plain
+// functions over a type-checked package (a Pass); the engine collects
+// their diagnostics, filters suppressed ones, and sorts the rest by
+// position. See internal/analysis/checks for the project's analyzers
+// and cmd/kernvet for the CLI driver.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named check. Run inspects the Pass's files and calls
+// pass.Report for every finding; it must not retain the Pass.
+type Analyzer struct {
+	// Name is the check's identifier, used in diagnostics, in
+	// //kernvet:ignore comments, and in the CLI's -checks flag.
+	Name string
+	// Doc is a one-line description of the invariant enforced.
+	Doc string
+	// Run performs the check.
+	Run func(*Pass)
+}
+
+// Pass couples one type-checked package with the reporting hook of the
+// analyzer currently running over it.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// analyzer is the check this pass runs (its name tags diagnostics).
+	analyzer *Analyzer
+	// report receives every raw (pre-suppression) diagnostic.
+	report func(Diagnostic)
+}
+
+// Path returns the package's import path as the analyzers should see it
+// (testdata packages override it with a //kernvet:path directive).
+func (p *Pass) Path() string { return p.Pkg.Path }
+
+// Fset returns the position set of the package's files.
+func (p *Pass) Fset() *token.FileSet { return p.Pkg.Fset }
+
+// Files returns the package's parsed files.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checking results. It is never
+// nil, but entries may be missing when the package has type errors.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypeOf returns the type of e, or nil when type checking could not
+// determine one.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Pkg.Info.TypeOf(e) }
+
+// ObjectOf returns the object denoted by id, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if o := p.Pkg.Info.ObjectOf(id); o != nil {
+		return o
+	}
+	return nil
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Check:   p.analyzer.Name,
+		Pos:     p.Pkg.Fset.Position(pos),
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	// Check names the analyzer that produced the finding.
+	Check string `json:"check"`
+	// Pos locates the finding.
+	Pos token.Position `json:"-"`
+	// Message describes the violated invariant.
+	Message string `json:"message"`
+
+	// File, Line, Col mirror Pos for JSON output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
+}
+
+// Run applies every analyzer to every package, drops suppressed
+// findings, and returns the rest sorted by file, line, and column.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		sup := collectSuppressions(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{Pkg: pkg, analyzer: a}
+			pass.report = func(d Diagnostic) {
+				if sup.suppresses(d) {
+					return
+				}
+				d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+				out = append(out, d)
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Check < b.Check
+	})
+	return out
+}
+
+// InspectStack walks every node of every file depth-first, calling fn
+// with the node and the stack of its ancestors (outermost first, not
+// including the node itself). Returning false skips the node's
+// children. It is the framework's stand-in for x/tools' WithStack
+// inspector.
+func InspectStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			descend := fn(n, stack)
+			if descend {
+				stack = append(stack, n)
+			}
+			return descend
+		})
+	}
+}
+
+// EnclosingFunc returns the innermost function declaration on the
+// stack, or nil when the node is at file scope.
+func EnclosingFunc(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// InnermostLoop returns the innermost for/range statement on the stack
+// (nil when the node is not inside a loop) without crossing a function
+// literal boundary: a closure's body starts fresh.
+func InnermostLoop(stack []ast.Node) ast.Stmt {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ForStmt:
+			return s
+		case *ast.RangeStmt:
+			return s
+		case *ast.FuncLit:
+			return nil
+		}
+	}
+	return nil
+}

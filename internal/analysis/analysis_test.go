@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseIgnore(t *testing.T) {
+	cases := []struct {
+		text string
+		want []string
+	}{
+		{"//kernvet:ignore compsum -- reason here", []string{"compsum"}},
+		{"//kernvet:ignore compsum,ctxpoll -- two at once", []string{"compsum", "ctxpoll"}},
+		{"//kernvet:ignore compsum ctxpoll", []string{"compsum", "ctxpoll"}},
+		{"//kernvet:ignore all -- everything", []string{"all"}},
+		{"//kernvet:ignore", nil},          // no checks named
+		{"//kernvet:ignorecompsum", nil},   // not a word boundary
+		{"// kernvet:ignore compsum", nil}, // not a directive (space after //)
+		{"//kernvet:path repro/internal/core", nil},
+		{"// plain comment", nil},
+	}
+	for _, c := range cases {
+		if got := parseIgnore(c.text); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseIgnore(%q) = %v, want %v", c.text, got, c.want)
+		}
+	}
+}
+
+// writeTempPkg writes one Go file into a fresh directory and loads it.
+func writeTempPkg(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatalf("writing temp package: %v", err)
+	}
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	return pkg
+}
+
+// assignFlagger reports every assignment — a minimal analyzer for
+// exercising the suppression and expectation plumbing.
+var assignFlagger = &Analyzer{
+	Name: "assignflag",
+	Doc:  "flags every assignment (test helper)",
+	Run: func(pass *Pass) {
+		InspectStack(pass.Files(), func(n ast.Node, _ []ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				pass.Reportf(as.Pos(), "assignment here")
+			}
+			return true
+		})
+	},
+}
+
+func TestSuppressionLineAndRange(t *testing.T) {
+	pkg := writeTempPkg(t, `package p
+
+func plain() {
+	x := 1 // flagged
+	_ = x
+}
+
+func annotated() {
+	x := 1 //kernvet:ignore assignflag -- own line
+	//kernvet:ignore assignflag -- next line
+	y := 2
+	_, _ = x, y
+}
+
+//kernvet:ignore assignflag -- whole function
+func docAnnotated() {
+	x := 1
+	_ = x
+}
+
+//kernvet:ignore all -- wildcard
+func wildcard() {
+	x := 1
+	_ = x
+}
+`)
+	diags := Run([]*Package{pkg}, []*Analyzer{assignFlagger})
+	var lines []int
+	for _, d := range diags {
+		lines = append(lines, d.Pos.Line)
+	}
+	// Only plain()'s two assignments survive: x := 1 (line 4) and _ = x
+	// (line 5), plus annotated()'s _, _ = x, y (line 12).
+	want := []int{4, 5, 12}
+	if !reflect.DeepEqual(lines, want) {
+		t.Errorf("surviving diagnostic lines = %v, want %v (diags: %v)", lines, want, diags)
+	}
+}
+
+func TestPathDirectiveOverridesPackagePath(t *testing.T) {
+	pkg := writeTempPkg(t, `//kernvet:path repro/internal/masquerade
+
+package p
+`)
+	if pkg.Path != "repro/internal/masquerade" {
+		t.Errorf("Path = %q, want the //kernvet:path override", pkg.Path)
+	}
+}
+
+func TestWantHarness(t *testing.T) {
+	good := writeTempPkg(t, `package p
+
+func f() {
+	x := 1 // want "assignment here"
+	_ = x // want `+"`assignment`"+`
+}
+`)
+	if problems := CheckExpectations(good, []*Analyzer{assignFlagger}); len(problems) != 0 {
+		t.Errorf("expected clean expectations, got %v", problems)
+	}
+
+	bad := writeTempPkg(t, `package p
+
+// want "never produced"
+
+func f() {
+	x := 1
+	_ = x
+}
+`)
+	problems := CheckExpectations(bad, []*Analyzer{assignFlagger})
+	var unmatchedWant, unexpectedDiag bool
+	for _, p := range problems {
+		if strings.Contains(p, "no diagnostic matched want") {
+			unmatchedWant = true
+		}
+		if strings.Contains(p, "unexpected diagnostic") {
+			unexpectedDiag = true
+		}
+	}
+	if !unmatchedWant || !unexpectedDiag {
+		t.Errorf("want harness missed a mismatch class: %v", problems)
+	}
+}
+
+func TestLoadTypechecksAgainstExportData(t *testing.T) {
+	l, err := NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	pkgs, err := l.Load("repro/internal/mathx")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("Load returned %d packages, want 1", len(pkgs))
+	}
+	pkg := pkgs[0]
+	if pkg.Path != "repro/internal/mathx" {
+		t.Errorf("Path = %q", pkg.Path)
+	}
+	if len(pkg.TypeErrors) != 0 {
+		t.Errorf("type errors in a healthy package: %v", pkg.TypeErrors)
+	}
+	if pkg.Types == nil || pkg.Types.Scope().Lookup("NeumaierAccumulator") == nil {
+		t.Errorf("type-checked package is missing NeumaierAccumulator")
+	}
+}
+
+func TestInnermostLoopStopsAtFuncLit(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", `package p
+
+func f(xs []int) {
+	for range xs {
+		g := func() {
+			x := 1
+			_ = x
+		}
+		g()
+	}
+}
+`, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	var inLit, inLoop ast.Stmt
+	InspectStack([]*ast.File{f}, func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		if as.Tok == token.DEFINE {
+			if _, isLit := as.Rhs[0].(*ast.FuncLit); isLit {
+				inLoop = InnermostLoop(stack) // g := func(){...} sits in the range loop
+			} else {
+				inLit = InnermostLoop(stack) // x := 1 sits inside the closure
+			}
+		}
+		return true
+	})
+	if inLoop == nil {
+		t.Errorf("InnermostLoop missed the enclosing range loop")
+	}
+	if inLit != nil {
+		t.Errorf("InnermostLoop crossed a function-literal boundary")
+	}
+}

@@ -1,0 +1,127 @@
+package checks_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+func newLoader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	l, err := analysis.NewLoader(".")
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// TestAnalyzerTestdata runs the full suite over each analyzer's
+// testdata package and checks the findings against the want comments:
+// every true positive must fire, every true negative must stay silent,
+// and every suppressed site must be silenced by its annotation.
+func TestAnalyzerTestdata(t *testing.T) {
+	for _, name := range []string{"compsum", "ctxpoll", "poolpair", "lockdefer", "narrowconv"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			l := newLoader(t)
+			pkg, err := l.LoadDir(filepath.Join("testdata", "src", name))
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			if len(pkg.TypeErrors) > 0 {
+				t.Fatalf("testdata package %s has type errors: %v", name, pkg.TypeErrors)
+			}
+			analysis.RunExpectations(t, pkg, checks.All())
+		})
+	}
+}
+
+// TestSuiteSelfClean keeps the analyzer suite honest about its own
+// code: kernvet over internal/analysis and cmd/kernvet must be silent.
+func TestSuiteSelfClean(t *testing.T) {
+	l := newLoader(t)
+	pkgs, err := l.Load("repro/internal/analysis/...", "repro/cmd/kernvet")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) < 3 {
+		t.Fatalf("expected at least 3 packages (analysis, checks, kernvet), got %d", len(pkgs))
+	}
+	for _, d := range analysis.Run(pkgs, checks.All()) {
+		t.Errorf("the analysis suite flags its own code: %s", d)
+	}
+}
+
+// TestSeededRegressions plants the two regressions the suite exists to
+// catch — an uncompensated running sum in a core sweep and an exported
+// ...Context function that never polls — and asserts both are flagged.
+func TestSeededRegressions(t *testing.T) {
+	dir := t.TempDir()
+	src := `//kernvet:path repro/internal/core
+
+package seeded
+
+import "context"
+
+func GridSweep(xs, scores []float64, h float64) {
+	var acc float64
+	for _, v := range xs {
+		if v <= h {
+			acc += v
+		}
+	}
+	scores[0] = acc
+}
+
+func Select(xs []float64) float64 { return xs[0] }
+
+func SelectContext(ctx context.Context, xs []float64) float64 {
+	return xs[0]
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "seeded.go"), []byte(src), 0o644); err != nil {
+		t.Fatalf("writing seeded source: %v", err)
+	}
+	l := newLoader(t)
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("seeded package has type errors: %v", pkg.TypeErrors)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, checks.All())
+	var gotCompsum, gotCtxpoll bool
+	for _, d := range diags {
+		switch {
+		case d.Check == "compsum" && strings.Contains(d.Message, "acc"):
+			gotCompsum = true
+		case d.Check == "ctxpoll" && strings.Contains(d.Message, "SelectContext"):
+			gotCtxpoll = true
+		default:
+			t.Errorf("unexpected diagnostic on seeded package: %s", d)
+		}
+	}
+	if !gotCompsum {
+		t.Errorf("compsum did not flag the seeded uncompensated sweep sum")
+	}
+	if !gotCtxpoll {
+		t.Errorf("ctxpoll did not flag the seeded never-polling SelectContext")
+	}
+}
+
+// TestByName covers analyzer selection for the CLI's -checks flag.
+func TestByName(t *testing.T) {
+	sel, ok := checks.ByName([]string{"compsum", "lockdefer"})
+	if !ok || len(sel) != 2 || sel[0].Name != "compsum" || sel[1].Name != "lockdefer" {
+		t.Fatalf("ByName(compsum,lockdefer) = %v, %v", sel, ok)
+	}
+	if _, ok := checks.ByName([]string{"nonsense"}); ok {
+		t.Fatalf("ByName accepted an unknown analyzer name")
+	}
+}

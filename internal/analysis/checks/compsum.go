@@ -1,0 +1,116 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Compsum flags uncompensated running float sums inside sweep loops.
+//
+// PR 3 established that every loop-carried float accumulation in the
+// selection hot paths goes through the Neumaier accumulators
+// (mathx.NeumaierAccumulator{,32}, core's compAcc32): the sorted
+// sweeps' prefix sums are exactly the "fast sum updating" scheme whose
+// catastrophic cancellation Langrené & Warin analyse, and one plain
+// `sum += w` silently reverts a selector to the unstable arithmetic
+// the stability layer exists to avoid.
+//
+// A finding is an assignment `acc += x` (or `acc = acc + x`) where acc
+// has float type, the assignment sits inside a for/range loop, and acc
+// is declared outside the innermost enclosing loop — i.e. it
+// accumulates across iterations. Per-element writes such as
+// `scores[j] += r*r` with j the loop variable are not running sums and
+// are skipped, as are functions whose name marks them as deliberate
+// plain-arithmetic ablations (*Uncompensated*). Intentional plain
+// sums — reference oracles whose arithmetic is pinned by the
+// conformance harness, device kernels mirroring the paper — carry
+// //kernvet:ignore compsum annotations with a justification.
+var Compsum = &analysis.Analyzer{
+	Name: "compsum",
+	Doc:  "running float sums in sweep loops must use compensated accumulators",
+	Run:  runCompsum,
+}
+
+// compsumScope lists the packages whose sweep loops carry numerical
+// invariants; everything else (harness, serve, tooling) is exempt.
+var compsumScope = []string{
+	"repro/internal/bandwidth",
+	"repro/internal/core",
+	"repro/internal/gpu",
+	"repro/internal/cuda",
+}
+
+func runCompsum(pass *analysis.Pass) {
+	if !inScope(pass, compsumScope...) {
+		return
+	}
+	info := pass.TypesInfo()
+	analysis.InspectStack(pass.Files(), func(n ast.Node, stack []ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		target := accumTarget(info, as)
+		if target == nil {
+			return true
+		}
+		if _, isFloat := floatKind(pass.TypeOf(target)); !isFloat {
+			return true
+		}
+		if fd := analysis.EnclosingFunc(stack); fd != nil &&
+			strings.Contains(strings.ToLower(fd.Name.Name), "uncompensated") {
+			return true
+		}
+		loop := analysis.InnermostLoop(stack)
+		if loop == nil {
+			return true
+		}
+		// scores[j] += v with j bound by the enclosing loop touches a
+		// different element each iteration: a per-element write, not a
+		// running sum.
+		if idx, ok := target.(*ast.IndexExpr); ok {
+			if id, ok := idx.Index.(*ast.Ident); ok {
+				if o := info.ObjectOf(id); o != nil && loopVarObjects(info, loop)[o] {
+					return true
+				}
+			}
+		}
+		// An accumulator declared inside the innermost loop is fresh
+		// every iteration and cannot drift across the sweep.
+		if root := rootIdent(target); root != nil {
+			if o := info.ObjectOf(root); o != nil && within(o.Pos(), loopBody(loop)) {
+				return true
+			}
+		}
+		pass.Reportf(as.Pos(),
+			"uncompensated float accumulation into %s in a sweep loop; use mathx.NeumaierAccumulator/compAcc32 (see internal/mathx) or annotate the ablation with //kernvet:ignore compsum",
+			types.ExprString(target))
+		return true
+	})
+}
+
+// accumTarget returns the accumulated expression when as has the shape
+// `x += e`, `x = x + e`, or `x = e + x`, and nil otherwise.
+func accumTarget(info *types.Info, as *ast.AssignStmt) ast.Expr {
+	if len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return nil
+	}
+	lhs := as.Lhs[0]
+	switch as.Tok {
+	case token.ADD_ASSIGN:
+		return lhs
+	case token.ASSIGN:
+		bin, ok := as.Rhs[0].(*ast.BinaryExpr)
+		if !ok || bin.Op != token.ADD {
+			return nil
+		}
+		if sameExpr(info, lhs, bin.X) || sameExpr(info, lhs, bin.Y) {
+			return lhs
+		}
+	}
+	return nil
+}

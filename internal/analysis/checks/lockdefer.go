@@ -1,0 +1,330 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Lockdefer enforces the locking discipline of internal/serve, where
+// PR 2's submit/drain ordering depends on every Lock/RLock being
+// released on every control-flow path: a single path that returns with
+// s.mu held deadlocks the drain.
+//
+// The analyzer runs a small path-sensitive walk over each function
+// that locks a sync.Mutex/RWMutex: acquiring adds the mutex (keyed by
+// receiver expression and read/write mode) to the held set, a deferred
+// unlock discharges it for every exit, an explicit unlock discharges
+// it from that point on, and the walk reports
+//
+//   - a return (or function end) reached with a mutex still held,
+//   - branches that disagree about the held set at their join point,
+//   - loop bodies that change the held set across an iteration, and
+//   - unlocking a mutex that is not held (double unlock).
+//
+// The walk is conservative: it understands if/else, switch, select,
+// blocks, and loops, and treats anything it cannot model (goto into a
+// held region, say) as out of scope rather than guessing.
+var Lockdefer = &analysis.Analyzer{
+	Name: "lockdefer",
+	Doc:  "serve's mutexes must be unlocked on every path (defer or provably paired)",
+	Run:  runLockdefer,
+}
+
+func runLockdefer(pass *analysis.Pass) {
+	if !inScope(pass, "repro/internal/serve") {
+		return
+	}
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			// Walk the function body and, separately, every function
+			// literal it contains (each literal is its own path space).
+			walkIfLocks(pass, fd.Body, false)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					walkIfLocks(pass, lit.Body, false)
+					return false
+				}
+				return true
+			})
+		}
+	}
+}
+
+// walkIfLocks runs the lock walker over body when it directly contains
+// a lock or unlock call (ignoring nested function literals).
+func walkIfLocks(pass *analysis.Pass, body *ast.BlockStmt, _ bool) {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if _, _, ok := lockCall(pass, call); ok {
+				found = true
+			}
+		}
+		return !found
+	})
+	if !found {
+		return
+	}
+	w := &lockWalker{pass: pass}
+	held, terminated := w.walkStmts(body.List, lockSet{})
+	if !terminated {
+		for k := range held {
+			pass.Reportf(body.End()-1, "function exits with %s still held (no deferred or fall-through unlock)", k)
+		}
+	}
+}
+
+// lockSet is the set of held mutexes, keyed by receiver expression and
+// mode ("s.mu(R)" vs "s.mu(W)").
+type lockSet map[string]bool
+
+func (s lockSet) clone() lockSet {
+	out := make(lockSet, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s lockSet) equal(o lockSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// lockCall classifies a call as a lock or unlock of a sync mutex,
+// returning the lock-set key and whether it acquires (true) or
+// releases.
+func lockCall(pass *analysis.Pass, call *ast.CallExpr) (key string, acquire bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var mode string
+	switch sel.Sel.Name {
+	case "Lock", "Unlock":
+		mode = "W"
+	case "RLock", "RUnlock":
+		mode = "R"
+	default:
+		return "", false, false
+	}
+	if !isMutexType(pass.TypeOf(sel.X)) {
+		return "", false, false
+	}
+	key = types.ExprString(sel.X) + "(" + mode + ")"
+	return key, !strings.Contains(sel.Sel.Name, "Unlock"), true
+}
+
+// isMutexType reports whether t is sync.Mutex/sync.RWMutex (possibly
+// behind a pointer).
+func isMutexType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+type lockWalker struct {
+	pass *analysis.Pass
+}
+
+// walkStmts threads the held set through a statement list, returning
+// the set at the end and whether the list always terminates (returns
+// or panics) before falling through.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held lockSet) (lockSet, bool) {
+	held = held.clone()
+	for _, s := range stmts {
+		var terminated bool
+		held, terminated = w.walkStmt(s, held)
+		if terminated {
+			return held, true
+		}
+	}
+	return held, false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held lockSet) (lockSet, bool) {
+	switch st := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := st.X.(*ast.CallExpr); ok {
+			if key, acquire, ok := lockCall(w.pass, call); ok {
+				if acquire {
+					if held[key] {
+						w.pass.Reportf(call.Pos(), "%s locked while already held on this path", key)
+					}
+					held = held.clone()
+					held[key] = true
+				} else {
+					if !held[key] {
+						w.pass.Reportf(call.Pos(), "%s unlocked but not held on this path", key)
+					}
+					held = held.clone()
+					delete(held, key)
+				}
+				return held, false
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				return held, true
+			}
+		}
+		return held, false
+	case *ast.DeferStmt:
+		if key, acquire, ok := lockCall(w.pass, st.Call); ok && !acquire {
+			// A deferred unlock discharges the obligation for every
+			// subsequent exit.
+			held = held.clone()
+			delete(held, key)
+		}
+		return held, false
+	case *ast.ReturnStmt:
+		for k := range held {
+			w.pass.Reportf(st.Pos(), "return while holding %s (no deferred unlock on this path)", k)
+		}
+		return held, true
+	case *ast.BlockStmt:
+		return w.walkStmts(st.List, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			held, _ = w.walkStmt(st.Init, held)
+		}
+		thenHeld, thenTerm := w.walkStmts(st.Body.List, held)
+		elseHeld, elseTerm := held, false
+		if st.Else != nil {
+			elseHeld, elseTerm = w.walkStmt(st.Else, held)
+		}
+		return w.join(st.End()-1, [][2]any{{thenHeld, thenTerm}, {elseHeld, elseTerm}})
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return w.walkBranches(s, held)
+	case *ast.ForStmt:
+		if st.Init != nil {
+			held, _ = w.walkStmt(st.Init, held)
+		}
+		bodyHeld, _ := w.walkStmts(st.Body.List, held)
+		if !bodyHeld.equal(held) {
+			w.pass.Reportf(st.Pos(), "loop body changes the held-mutex set across an iteration")
+		}
+		return held, false
+	case *ast.RangeStmt:
+		bodyHeld, _ := w.walkStmts(st.Body.List, held)
+		if !bodyHeld.equal(held) {
+			w.pass.Reportf(st.Pos(), "loop body changes the held-mutex set across an iteration")
+		}
+		return held, false
+	case *ast.GoStmt, *ast.SendStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.IncDecStmt, *ast.EmptyStmt, *ast.LabeledStmt, *ast.BranchStmt:
+		return held, false
+	}
+	return held, false
+}
+
+// walkBranches handles switch/select: each clause is an alternative
+// path; clauses that terminate drop out of the join.
+func (w *lockWalker) walkBranches(s ast.Stmt, held lockSet) (lockSet, bool) {
+	var clauses [][]ast.Stmt
+	hasDefault := false
+	switch st := s.(type) {
+	case *ast.SwitchStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CaseClause)
+			clauses = append(clauses, cc.Body)
+			if cc.List == nil {
+				hasDefault = true
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range st.Body.List {
+			cc := c.(*ast.CommClause)
+			clauses = append(clauses, cc.Body)
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+	}
+	var results [][2]any
+	for _, body := range clauses {
+		h, term := w.walkStmts(body, held)
+		results = append(results, [2]any{h, term})
+	}
+	// Without a default clause a switch can fall through unchanged; a
+	// select without default blocks until a case fires, so only its
+	// clauses matter.
+	if _, isSelect := s.(*ast.SelectStmt); !isSelect && !hasDefault {
+		results = append(results, [2]any{held, false})
+	}
+	if len(results) == 0 {
+		return held, false
+	}
+	return w.join(s.End()-1, results)
+}
+
+// join merges branch outcomes: terminated branches are unreachable
+// afterwards; surviving branches must agree on the held set.
+func (w *lockWalker) join(pos token.Pos, results [][2]any) (lockSet, bool) {
+	var survivors []lockSet
+	for _, r := range results {
+		if !r[1].(bool) {
+			survivors = append(survivors, r[0].(lockSet))
+		}
+	}
+	if len(survivors) == 0 {
+		return lockSet{}, true
+	}
+	first := survivors[0]
+	for _, s := range survivors[1:] {
+		if !s.equal(first) {
+			w.pass.Reportf(pos, "branches disagree about held mutexes at join (%v vs %v); unlock on every path or use defer", keys(first), keys(s))
+			// Union to avoid cascading reports downstream.
+			u := first.clone()
+			for k := range s {
+				u[k] = true
+			}
+			first = u
+		}
+	}
+	return first, false
+}
+
+func keys(s lockSet) []string {
+	var out []string
+	for k := range s {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Narrowconv polices the float64→float32 precision boundary.
+//
+// The paper's GPU pipeline computes in single precision, and the repo
+// keeps that narrowing confined to designated f32 kernels (toF32,
+// kernelSweepF32, compAcc32, ...): converting a typed float64 to
+// float32 anywhere else silently truncates 29 bits of mantissa in code
+// whose results are compared against float64 references at 1e-12
+// tolerances. A function is a designated kernel when its name contains
+// "32" (matching the repo-wide *32 / *F32 naming convention).
+//
+// Conversions of untyped constants (float32(0.5)) are exact-by-construction
+// decisions the compiler checks, and are skipped.
+var Narrowconv = &analysis.Analyzer{
+	Name: "narrowconv",
+	Doc:  "float64→float32 narrowing is confined to designated f32 kernels (functions named *32*)",
+	Run:  runNarrowconv,
+}
+
+// narrowconvScope lists the packages with a float32 device path whose
+// boundary must stay explicit.
+var narrowconvScope = []string{
+	"repro/internal/core",
+	"repro/internal/gpu",
+}
+
+func runNarrowconv(pass *analysis.Pass) {
+	if !inScope(pass, narrowconvScope...) {
+		return
+	}
+	info := pass.TypesInfo()
+	analysis.InspectStack(pass.Files(), func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		// A conversion has a type as its "function".
+		tv, ok := info.Types[call.Fun]
+		if !ok || !tv.IsType() {
+			return true
+		}
+		kind, isFloat := floatKind(tv.Type)
+		if !isFloat || kind != types.Float32 {
+			return true
+		}
+		argTV, ok := info.Types[call.Args[0]]
+		if !ok || argTV.Type == nil {
+			return true
+		}
+		// Untyped constants convert exactly (or fail to compile); only
+		// typed float64 operands lose precision at run time.
+		if argTV.Value != nil {
+			return true
+		}
+		argKind, argIsFloat := floatKind(argTV.Type)
+		if !argIsFloat || argKind != types.Float64 {
+			return true
+		}
+		if fd := analysis.EnclosingFunc(stack); fd != nil && strings.Contains(fd.Name.Name, "32") {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"float64→float32 narrowing of %s outside a designated f32 kernel; move the conversion into a *32 function (e.g. toF32) so the precision boundary stays auditable",
+			types.ExprString(call.Args[0]))
+		return true
+	})
+}

@@ -1,0 +1,294 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Poolpair enforces the workspace-pooling contract of PR 4: an object
+// acquired from a pool (sync.Pool.Get or bandwidth.AcquireWorkspace)
+// must be given back exactly once.
+//
+// Within the acquiring function one of the following must hold:
+//
+//   - a deferred Release/Put on the acquired variable (the idiomatic
+//     form — immune to early returns), or
+//   - an explicit Release/Put with no return statement between the
+//     acquisition and the release (a straight-line pairing), or
+//   - the object escapes (returned, stored in a struct, or passed to
+//     another function), transferring the release obligation.
+//
+// Separately, Put(x) where x is a slice that was reassigned by append
+// in the same function is flagged: append may have moved the backing
+// array, so the pool receives a different allocation than it handed
+// out and the original is silently dropped — the classic sync.Pool
+// slice-growth leak.
+var Poolpair = &analysis.Analyzer{
+	Name: "poolpair",
+	Doc:  "every pooled Get/AcquireWorkspace needs a Release/Put on all return paths",
+	Run:  runPoolpair,
+}
+
+func runPoolpair(pass *analysis.Pass) {
+	for _, f := range pass.Files() {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkPoolFunc(pass, fd)
+		}
+	}
+}
+
+// acquisition is one pool Get/Acquire binding inside a function.
+type acquisition struct {
+	obj  types.Object
+	stmt *ast.AssignStmt
+	verb string // "Get" or "AcquireWorkspace", for messages
+}
+
+func checkPoolFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo()
+	var acqs []acquisition
+	appended := make(map[types.Object]bool) // slices reassigned via append
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) == 0 {
+			return true
+		}
+		// Track x = append(x, ...) for the slice-growth check.
+		if len(as.Lhs) == 1 && len(as.Rhs) == 1 {
+			if id, ok := as.Lhs[0].(*ast.Ident); ok {
+				if call, ok := as.Rhs[0].(*ast.CallExpr); ok {
+					if fn, ok := call.Fun.(*ast.Ident); ok && fn.Name == "append" {
+						if o := info.ObjectOf(id); o != nil {
+							appended[o] = true
+						}
+					}
+				}
+			}
+		}
+		verb := acquireVerb(pass, as.Rhs)
+		if verb == "" {
+			return true
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if o := info.ObjectOf(id); o != nil {
+			acqs = append(acqs, acquisition{obj: o, stmt: as, verb: verb})
+		}
+		return true
+	})
+
+	for _, acq := range acqs {
+		checkAcquisition(pass, fd, acq)
+	}
+
+	// Put of an append-reassigned slice.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) != 1 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Put" || !isPoolType(pass.TypeOf(sel.X)) {
+			return true
+		}
+		id, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := info.ObjectOf(id)
+		if o == nil || !appended[o] {
+			return true
+		}
+		if _, isSlice := o.Type().Underlying().(*types.Slice); isSlice {
+			pass.Reportf(call.Pos(),
+				"Put of %s after append reassignment: the pool may receive a different backing array than it handed out; Put the original slice or pool a pointer",
+				id.Name)
+		}
+		return true
+	})
+}
+
+// acquireVerb recognises pool acquisitions on the right-hand side of
+// an assignment: p.Get() on a sync.Pool (possibly type-asserted) or a
+// call to AcquireWorkspace.
+func acquireVerb(pass *analysis.Pass, rhs []ast.Expr) string {
+	if len(rhs) != 1 {
+		return ""
+	}
+	e := rhs[0]
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ta.X
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if fn.Sel.Name == "Get" && isPoolType(pass.TypeOf(fn.X)) {
+			return "Get"
+		}
+		if fn.Sel.Name == "AcquireWorkspace" {
+			return "AcquireWorkspace"
+		}
+	case *ast.Ident:
+		if fn.Name == "AcquireWorkspace" {
+			return "AcquireWorkspace"
+		}
+	}
+	return ""
+}
+
+// isPoolType reports whether t is sync.Pool or *sync.Pool.
+func isPoolType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+func checkAcquisition(pass *analysis.Pass, fd *ast.FuncDecl, acq acquisition) {
+	info := pass.TypesInfo()
+	var (
+		deferredRelease bool
+		escapes         bool
+		releaseEnds     []ast.Node // non-deferred release calls
+	)
+
+	analysis.InspectStack([]*ast.File{wrapBody(fd)}, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != acq.obj || id.Pos() <= acq.stmt.Pos() {
+			return true
+		}
+		if len(stack) == 0 {
+			return true
+		}
+		parent := stack[len(stack)-1]
+		switch p := parent.(type) {
+		case *ast.CallExpr:
+			if isReleaseCall(p, id) {
+				if len(stack) >= 2 {
+					if _, isDefer := stack[len(stack)-2].(*ast.DeferStmt); isDefer {
+						deferredRelease = true
+						return true
+					}
+				}
+				releaseEnds = append(releaseEnds, p)
+				return true
+			}
+			// Passed to some other function: obligation transferred.
+			for _, arg := range p.Args {
+				if arg == id {
+					escapes = true
+				}
+			}
+		case *ast.SelectorExpr:
+			// obj.Release() — the ident is the receiver; handled when the
+			// surrounding CallExpr is visited. obj.field reads are fine.
+			if len(stack) >= 2 {
+				if call, ok := stack[len(stack)-2].(*ast.CallExpr); ok && call.Fun == p && isReleaseCall(call, id) {
+					if len(stack) >= 3 {
+						if _, isDefer := stack[len(stack)-3].(*ast.DeferStmt); isDefer {
+							deferredRelease = true
+							return true
+						}
+					}
+					releaseEnds = append(releaseEnds, call)
+				}
+			}
+		case *ast.ReturnStmt:
+			escapes = true
+		case *ast.CompositeLit:
+			escapes = true
+		case *ast.KeyValueExpr:
+			if p.Value == id {
+				escapes = true
+			}
+		case *ast.AssignStmt:
+			// Stored into a field, map, or global: escapes.
+			for i, lhs := range p.Lhs {
+				if i < len(p.Rhs) && p.Rhs[i] == id {
+					if _, isIdent := lhs.(*ast.Ident); !isIdent {
+						escapes = true
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	if deferredRelease || escapes {
+		return
+	}
+	if len(releaseEnds) == 0 {
+		pass.Reportf(acq.stmt.Pos(),
+			"%s acquired via %s is never released (no Release/Put and it does not escape); the pool leaks an allocation per call",
+			acq.obj.Name(), acq.verb)
+		return
+	}
+	// Explicit release: safe only if no return can fire between the
+	// acquisition and the last release.
+	lastRelease := releaseEnds[len(releaseEnds)-1].Pos()
+	earlyReturn := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			if r.Pos() > acq.stmt.End() && r.Pos() < lastRelease {
+				earlyReturn = true
+			}
+		}
+		return true
+	})
+	if earlyReturn {
+		pass.Reportf(acq.stmt.Pos(),
+			"%s acquired via %s is released only on the fall-through path; an earlier return leaks it — use defer %s",
+			acq.obj.Name(), acq.verb, releaseName(acq.verb))
+	}
+}
+
+func releaseName(verb string) string {
+	if verb == "Get" {
+		return "pool.Put(x)"
+	}
+	return "ws.Release()"
+}
+
+// isReleaseCall reports whether call releases id: id.Release(),
+// pool.Put(id), or wsPools[...].Put(id).
+func isReleaseCall(call *ast.CallExpr, id *ast.Ident) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Release":
+		root := rootIdent(sel.X)
+		return root != nil && root.Name == id.Name
+	case "Put":
+		for _, arg := range call.Args {
+			if a, ok := arg.(*ast.Ident); ok && a.Name == id.Name {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,79 @@
+//kernvet:path repro/internal/bandwidth
+
+// Package compsum exercises the compsum analyzer: loop-carried plain
+// float sums are flagged; per-element writes, loop-local accumulators,
+// integer counters, named ablations, and suppressed sites are not.
+package compsum
+
+// sweep carries plain float prefix sums across the grid: flagged.
+func sweep(absd, yv, grid, scores []float64, yi float64) {
+	var sy, sd2 float64
+	ptr := 0
+	for j, h := range grid {
+		for ptr < len(absd) && absd[ptr] <= h {
+			sy += yv[ptr]                   // want `uncompensated float accumulation into sy`
+			sd2 = sd2 + absd[ptr]*absd[ptr] // want `uncompensated float accumulation into sd2`
+			ptr++
+		}
+		r := yi - sy/(1+sd2/(h*h))
+		scores[j] += r * r // per-element write via the loop index: clean
+	}
+}
+
+// sweepUncompensated is a deliberate plain-arithmetic ablation, exempt
+// by naming convention.
+func sweepUncompensated(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}
+
+// freshPerIteration declares its accumulator inside the innermost loop,
+// so nothing drifts across iterations.
+func freshPerIteration(m [][]float64) {
+	for _, row := range m {
+		for i := range row {
+			var t float64
+			t += row[i]
+			row[i] = t
+		}
+	}
+}
+
+// intCounter accumulates an integer: not float drift.
+func intCounter(xs []float64, h float64) int {
+	n := 0
+	for _, v := range xs {
+		if v <= h {
+			n += 1
+		}
+	}
+	return n
+}
+
+// noLoop accumulates outside any loop: clean.
+func noLoop(a, b float64) float64 {
+	s := a
+	s += b
+	return s
+}
+
+// suppressedLine demonstrates end-of-line suppression.
+func suppressedLine(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v //kernvet:ignore compsum -- testdata: end-of-line suppression
+	}
+	return s
+}
+
+//kernvet:ignore compsum -- testdata: function-doc suppression covers the whole body
+func suppressedFunc(xs []float64) float64 {
+	var s float64
+	for _, v := range xs {
+		s += v
+	}
+	return s
+}

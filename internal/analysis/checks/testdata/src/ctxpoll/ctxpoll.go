@@ -1,0 +1,89 @@
+//kernvet:path repro/internal/ctxpolltest
+
+// Package ctxpoll exercises the ctxpoll analyzer: exported ...Context
+// functions must take, observe, and not discard their context, and keep
+// a non-Context sibling that does not itself take one.
+package ctxpoll
+
+import "context"
+
+// Search is the non-Context sibling of SearchContext.
+func Search(xs []float64) int { return len(xs) }
+
+// SearchContext polls its context: clean.
+func SearchContext(ctx context.Context, xs []float64) (int, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return len(xs), nil
+}
+
+// Pass is the non-Context sibling of PassContext.
+func Pass(xs []float64) int { return len(xs) }
+
+// PassContext propagates ctx onward, which counts as observing it.
+func PassContext(ctx context.Context, xs []float64) (int, error) {
+	return SearchContext(ctx, xs)
+}
+
+// Run is the non-Context sibling of RunContext.
+func Run(xs []float64) int { return len(xs) }
+
+// RunContext never looks at ctx.
+func RunContext(ctx context.Context, xs []float64) int { // want `RunContext never polls its context`
+	return len(xs)
+}
+
+// Scan is the non-Context sibling of ScanContext.
+func Scan() {}
+
+// ScanContext lacks the parameter its name promises.
+func ScanContext() {} // want `ScanContext takes no context.Context parameter`
+
+// WalkContext polls but has no non-Context sibling.
+func WalkContext(ctx context.Context) error { // want `WalkContext has no non-Context sibling Walk`
+	return ctx.Err()
+}
+
+// Visit is the non-Context sibling of VisitContext.
+func Visit(xs []float64) {}
+
+// VisitContext discards the caller's context unconditionally.
+func VisitContext(ctx context.Context, xs []float64) {
+	ctx = context.Background() // want `VisitContext discards the caller's context`
+	_ = ctx.Err()
+}
+
+// Fill is the non-Context sibling of FillContext.
+func Fill() error { return nil }
+
+// FillContext defaults a nil context — the allowed guard form.
+func FillContext(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx.Err()
+}
+
+// Nop is the non-Context sibling of NopContext.
+func Nop() {}
+
+// NopContext's context parameter is unnamed.
+func NopContext(context.Context) {} // want `NopContext's context parameter is unnamed`
+
+// Shadowed takes a context even though a Context variant exists.
+func Shadowed(ctx context.Context) error { return ctx.Err() } // want `Shadowed takes a context.Context, shadowing its Context variant ShadowedContext`
+
+// ShadowedContext is fine on its own; its sibling is the problem.
+func ShadowedContext(ctx context.Context) error { return ctx.Err() }
+
+// searchContext is unexported and outside the contract.
+func searchContext(ctx context.Context) {}
+
+// Quiet is the non-Context sibling of QuietContext.
+func Quiet(xs []float64) int { return len(xs) }
+
+//kernvet:ignore ctxpoll -- testdata: function-doc suppression
+func QuietContext(ctx context.Context, xs []float64) int {
+	return len(xs)
+}

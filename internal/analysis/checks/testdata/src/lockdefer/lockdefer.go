@@ -1,0 +1,90 @@
+//kernvet:path repro/internal/serve
+
+// Package lockdefer exercises the lockdefer analyzer: every mutex
+// acquired in internal/serve must be released on every control-flow
+// path, by defer or by provably branch-complete explicit unlocks.
+package lockdefer
+
+import "sync"
+
+type guard struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// deferred is the idiomatic form: clean.
+func (g *guard) deferred() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.n
+}
+
+// branchwise mirrors serve's submit: an explicit RUnlock on every path,
+// including the select's terminating case and its fall-through default.
+func (g *guard) branchwise(stop chan struct{}) bool {
+	g.mu.RLock()
+	if g.n == 0 {
+		g.mu.RUnlock()
+		return false
+	}
+	select {
+	case <-stop:
+		g.mu.RUnlock()
+		return false
+	default:
+	}
+	g.mu.RUnlock()
+	return true
+}
+
+// straightLine mirrors serve's Drain: clean.
+func (g *guard) straightLine() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}
+
+// leakyReturn returns while holding the write lock.
+func (g *guard) leakyReturn(cond bool) int {
+	g.mu.Lock()
+	if cond {
+		return g.n // want `return while holding g.mu\(W\)`
+	}
+	g.mu.Unlock()
+	return 0
+}
+
+// doubleUnlock releases a lock it no longer holds.
+func (g *guard) doubleUnlock() {
+	g.mu.Lock()
+	g.mu.Unlock()
+	g.mu.Unlock() // want `unlocked but not held`
+}
+
+// neverUnlocked exits with the lock held.
+func (g *guard) neverUnlocked() {
+	g.mu.Lock()
+	g.n++
+} // want `exits with g.mu\(W\) still held`
+
+// asymmetric unlocks on one branch only.
+func (g *guard) asymmetric(cond bool) {
+	g.mu.Lock()
+	if cond {
+		g.mu.Unlock()
+	} // want `branches disagree about held mutexes`
+	g.mu.Unlock()
+}
+
+// lockInLoop accumulates locks across iterations.
+func (g *guard) lockInLoop(items []int) {
+	for range items { // want `loop body changes the held-mutex set`
+		g.mu.Lock()
+	}
+}
+
+//kernvet:ignore lockdefer -- testdata: function-doc suppression
+func (g *guard) suppressed() {
+	g.mu.Lock()
+	g.n++
+}

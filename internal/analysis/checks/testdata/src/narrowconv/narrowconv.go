@@ -1,0 +1,36 @@
+//kernvet:path repro/internal/core
+
+// Package narrowconv exercises the narrowconv analyzer: float64→float32
+// conversions are confined to functions whose name marks them as f32
+// kernels.
+package narrowconv
+
+// toF32 is a designated kernel (name contains "32"): clean.
+func toF32(xs []float64) []float32 {
+	out := make([]float32, len(xs))
+	for i, v := range xs {
+		out[i] = float32(v)
+	}
+	return out
+}
+
+// badNarrow converts a typed float64 outside a designated kernel.
+func badNarrow(v float64) float32 {
+	return float32(v) // want `float64→float32 narrowing`
+}
+
+// constantsOK converts untyped constants, which is exact by
+// construction: clean.
+func constantsOK() float32 {
+	return float32(0.75)
+}
+
+// intsOK widens an int, which is not the float64 boundary: clean.
+func intsOK(n int) float32 {
+	return float32(n)
+}
+
+// suppressedNarrow demonstrates end-of-line suppression.
+func suppressedNarrow(v float64) float32 {
+	return float32(v) //kernvet:ignore narrowconv -- testdata: end-of-line suppression
+}

@@ -1,0 +1,95 @@
+//kernvet:path repro/internal/poolpairtest
+
+// Package poolpair exercises the poolpair analyzer: pooled objects must
+// be released on every path, and a pool must not be handed back a slice
+// that append may have reallocated.
+package poolpair
+
+import "sync"
+
+var pool sync.Pool
+
+type ws struct{ buf []float64 }
+
+// Release returns w to the pool.
+func (w *ws) Release() { pool.Put(w) }
+
+// AcquireWorkspace mimics the production pool entry point.
+func AcquireWorkspace() *ws {
+	w, _ := pool.Get().(*ws)
+	if w == nil {
+		w = &ws{}
+	}
+	return w
+}
+
+func use(*ws) {}
+
+// deferred is the idiomatic pairing: clean.
+func deferred() {
+	w := pool.Get().(*ws)
+	defer pool.Put(w)
+	w.buf = w.buf[:0]
+}
+
+// deferredRelease pairs AcquireWorkspace with a deferred Release: clean.
+func deferredRelease() {
+	w := AcquireWorkspace()
+	defer w.Release()
+	w.buf = w.buf[:0]
+}
+
+// straightLine releases with no intervening return: clean.
+func straightLine() {
+	w := pool.Get().(*ws)
+	w.buf = w.buf[:0]
+	pool.Put(w)
+}
+
+// escapes transfers the release obligation to the caller: clean.
+func escapes() *ws {
+	w := pool.Get().(*ws)
+	return w
+}
+
+// handedOff passes the object to another function: clean here.
+func handedOff() {
+	w := pool.Get().(*ws)
+	use(w)
+}
+
+// leak never gives the workspace back.
+func leak() {
+	w := pool.Get().(*ws) // want `never released`
+	w.buf = w.buf[:0]
+}
+
+// leakAcquire never releases the acquired workspace.
+func leakAcquire() {
+	w := AcquireWorkspace() // want `never released`
+	w.buf = w.buf[:0]
+}
+
+// earlyReturn releases only on the fall-through path.
+func earlyReturn(cond bool) {
+	w := pool.Get().(*ws) // want `released only on the fall-through path`
+	if cond {
+		return
+	}
+	pool.Put(w)
+}
+
+var slicePool sync.Pool
+
+// growPut puts back a slice append may have moved.
+func growPut() {
+	buf, _ := slicePool.Get().([]float64)
+	buf = append(buf, 1, 2, 3)
+	slicePool.Put(buf) // want `after append reassignment`
+}
+
+// suppressedLeak demonstrates suppression.
+func suppressedLeak() {
+	w := pool.Get().(*ws) //kernvet:ignore poolpair -- testdata: end-of-line suppression
+	w.buf = w.buf[:0]
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression comments take the form
+//
+//	//kernvet:ignore check1,check2 -- one-line justification
+//
+// and silence the named checks (or every check, with the name "all"):
+//
+//   - on the comment's own line (end-of-line annotation),
+//   - on the line immediately below (standalone annotation), and
+//   - throughout the enclosing function when the comment sits in a
+//     function's doc comment — the form the plain-arithmetic ablation
+//     sweeps use, where every accumulation in the body is intentional.
+//
+// The justification after “--” is required by convention (review
+// enforces it; the parser only requires the check list).
+
+const ignorePrefix = "//kernvet:ignore"
+
+// parseIgnore extracts the check names from one comment, or nil when
+// the comment is not an ignore directive.
+func parseIgnore(text string) []string {
+	rest, ok := strings.CutPrefix(text, ignorePrefix)
+	if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil
+	}
+	rest = strings.TrimSpace(rest)
+	if i := strings.Index(rest, "--"); i >= 0 {
+		rest = strings.TrimSpace(rest[:i])
+	}
+	if rest == "" {
+		return nil
+	}
+	var checks []string
+	for _, c := range strings.FieldsFunc(rest, func(r rune) bool { return r == ',' || r == ' ' }) {
+		if c != "" {
+			checks = append(checks, c)
+		}
+	}
+	return checks
+}
+
+// lineKey identifies one source line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// suppRange suppresses checks across a span of lines in one file
+// (function-level annotations).
+type suppRange struct {
+	file       string
+	start, end int
+	checks     map[string]bool
+}
+
+// suppressions is the per-package suppression index.
+type suppressions struct {
+	lines  map[lineKey]map[string]bool
+	ranges []suppRange
+}
+
+func (s *suppressions) add(m map[string]bool, checks []string) {
+	for _, c := range checks {
+		m[c] = true
+	}
+}
+
+// collectSuppressions scans every comment in the package.
+func collectSuppressions(pkg *Package) *suppressions {
+	s := &suppressions{lines: make(map[lineKey]map[string]bool)}
+	mark := func(file string, line int, checks []string) {
+		k := lineKey{file, line}
+		if s.lines[k] == nil {
+			s.lines[k] = make(map[string]bool)
+		}
+		s.add(s.lines[k], checks)
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				checks := parseIgnore(c.Text)
+				if checks == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				mark(pos.Filename, pos.Line, checks)
+				mark(pos.Filename, pos.Line+1, checks)
+			}
+		}
+		// Function-doc annotations cover the whole function body.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			var checks []string
+			for _, c := range fd.Doc.List {
+				checks = append(checks, parseIgnore(c.Text)...)
+			}
+			if len(checks) == 0 {
+				continue
+			}
+			start := pkg.Fset.Position(fd.Pos())
+			end := pkg.Fset.Position(fd.End())
+			m := make(map[string]bool)
+			s.add(m, checks)
+			s.ranges = append(s.ranges, suppRange{file: start.Filename, start: start.Line, end: end.Line, checks: m})
+		}
+	}
+	return s
+}
+
+// suppresses reports whether d is silenced by an ignore annotation.
+func (s *suppressions) suppresses(d Diagnostic) bool {
+	if m := s.lines[lineKey{d.Pos.Filename, d.Pos.Line}]; m != nil && (m[d.Check] || m["all"]) {
+		return true
+	}
+	for _, r := range s.ranges {
+		if r.file == d.Pos.Filename && d.Pos.Line >= r.start && d.Pos.Line <= r.end && (r.checks[d.Check] || r.checks["all"]) {
+			return true
+		}
+	}
+	return false
+}

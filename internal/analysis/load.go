@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, parsed, and type-checked package.
+type Package struct {
+	// Path is the import path analyzers match scope rules against. A
+	// //kernvet:path directive in any file overrides it, which is how
+	// testdata packages masquerade as in-scope production packages.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset positions the files.
+	Fset *token.FileSet
+	// Files are the parsed sources (never test files).
+	Files []*ast.File
+	// Types is the type-checked package object (present even when the
+	// package has type errors).
+	Types *types.Package
+	// Info holds the type-checking results.
+	Info *types.Info
+	// TypeErrors collects soft type-checking errors; analyzers run
+	// regardless and must tolerate missing type info.
+	TypeErrors []error
+}
+
+// listedPkg is the subset of `go list -json` output the loader needs.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+}
+
+// Loader loads packages for analysis. It shells out to the go tool for
+// package and export-data discovery (the only part of the toolchain
+// that understands module resolution) and does all parsing and type
+// checking in-process with go/parser and go/types.
+type Loader struct {
+	// Root is the module root every `go list` invocation runs in.
+	Root string
+
+	// exports caches import path → export data file, fed by the -deps
+	// listing and by on-demand `go list -export` lookups.
+	exports map[string]string
+}
+
+// NewLoader returns a loader rooted at the enclosing module of dir
+// (the nearest parent directory containing go.mod).
+func NewLoader(dir string) (*Loader, error) {
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{Root: root, exports: make(map[string]string)}, nil
+}
+
+// moduleRoot walks up from dir to the nearest go.mod.
+func moduleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// goList runs `go list` with the given arguments in the module root and
+// decodes the JSON stream.
+func (l *Loader) goList(args ...string) ([]listedPkg, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = l.Root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load loads the packages matched by patterns (e.g. "./...") along with
+// export data for their dependency closure, then parses and
+// type-checks each matched package from source.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	// One -deps -export walk provides export data for every dependency;
+	// the targets themselves are re-listed without -deps so only the
+	// pattern's own packages are parsed.
+	deps, err := l.goList(append([]string{"-deps", "-export", "-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range deps {
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+	}
+	targets, err := l.goList(append([]string{"-json=ImportPath,Dir,Export,GoFiles,Standard"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := l.newImporter(fset)
+	var out []*Package
+	for _, t := range targets {
+		if t.Standard {
+			continue
+		}
+		var files []string
+		for _, f := range t.GoFiles {
+			files = append(files, filepath.Join(t.Dir, f))
+		}
+		pkg, err := l.typecheck(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadDir loads a single directory of Go sources that the go tool does
+// not know about (testdata packages, temporary dirs in tests). Test
+// files are skipped. A //kernvet:path directive in any file sets the
+// package path the analyzers see.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	imp := l.newImporter(fset)
+	return l.typecheck(fset, imp, "", dir, files)
+}
+
+// typecheck parses the files and runs go/types over them. Soft type
+// errors are collected on the package rather than failing the load, so
+// analyzers can still run on partially-broken trees.
+func (l *Loader) typecheck(fset *token.FileSet, imp types.Importer, path, dir string, filenames []string) (*Package, error) {
+	var files []*ast.File
+	for _, fn := range filenames {
+		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %v", err)
+		}
+		files = append(files, f)
+	}
+	if p := pathDirective(files); p != "" {
+		path = p
+	}
+	if path == "" {
+		path = filepath.Base(dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: fset, Files: files, Info: info}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Check returns an error only mirroring the first soft error; the
+	// package object is still usable.
+	pkg.Types, _ = conf.Check(path, fset, files, info)
+	return pkg, nil
+}
+
+// pathDirective returns the value of the first //kernvet:path comment
+// across the files, if any.
+func pathDirective(files []*ast.File) string {
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if rest, ok := strings.CutPrefix(c.Text, "//kernvet:path "); ok {
+					return strings.TrimSpace(rest)
+				}
+			}
+		}
+	}
+	return ""
+}
+
+// newImporter builds a gc-export-data importer whose lookup resolves
+// import paths through the cached `go list -export` universe, falling
+// back to an on-demand listing for paths outside it (stdlib packages a
+// testdata file pulls in that the module itself never imports).
+func (l *Loader) newImporter(fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		exp, ok := l.exports[path]
+		if !ok {
+			pkgs, err := l.goList("-export", "-json=ImportPath,Export", "--", path)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pkgs {
+				if p.Export != "" {
+					l.exports[p.ImportPath] = p.Export
+				}
+			}
+			exp, ok = l.exports[path]
+			if !ok {
+				return nil, fmt.Errorf("analysis: no export data for %q", path)
+			}
+		}
+		return os.Open(exp)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

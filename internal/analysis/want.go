@@ -1,0 +1,121 @@
+package analysis
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The expectation harness for analyzer tests. Testdata sources mark
+// expected findings with trailing comments:
+//
+//	sum += x // want `uncompensated float accumulation`
+//	ok()     // (no comment: any finding on this line fails the test)
+//
+// Each `want` takes one or more quoted regular expressions (double
+// quotes or backquotes); every expectation must be matched by at least
+// one diagnostic on its line, and every diagnostic must match at least
+// one expectation on its line. Regexes are matched against the
+// rendered "[check] message" string, so an expectation can pin the
+// check name as well as the message.
+
+// wantRe matches the quoted patterns of a want comment.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+// expectation is one want pattern at a location.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants extracts the expectations of a package's comments.
+func parseWants(pkg *Package) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, "want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				quoted := wantRe.FindAllString(rest, -1)
+				if len(quoted) == 0 {
+					return nil, fmt.Errorf("%s:%d: malformed want comment: %s", pos.Filename, pos.Line, c.Text)
+				}
+				for _, q := range quoted {
+					var pat string
+					if q[0] == '`' {
+						pat = q[1 : len(q)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(q)
+						if err != nil {
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CheckExpectations runs the analyzers over the package and compares
+// the diagnostics with the package's want comments, returning one
+// human-readable problem per mismatch (empty means the expectations
+// hold exactly).
+func CheckExpectations(pkg *Package, analyzers []*Analyzer) []string {
+	wants, err := parseWants(pkg)
+	if err != nil {
+		return []string{err.Error()}
+	}
+	diags := Run([]*Package{pkg}, analyzers)
+	var problems []string
+	for _, d := range diags {
+		rendered := fmt.Sprintf("[%s] %s", d.Check, d.Message)
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(rendered) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			problems = append(problems, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			problems = append(problems, fmt.Sprintf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.pattern))
+		}
+	}
+	sort.Strings(problems)
+	return problems
+}
+
+// TB is the subset of testing.TB the harness needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// RunExpectations is CheckExpectations wired to a test: every mismatch
+// becomes a test error.
+func RunExpectations(t TB, pkg *Package, analyzers []*Analyzer) {
+	t.Helper()
+	for _, p := range CheckExpectations(pkg, analyzers) {
+		t.Errorf("%s", p)
+	}
+}

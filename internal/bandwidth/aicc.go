@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/kernel"
+	"repro/internal/mathx"
 	"repro/internal/sortx"
 )
 
@@ -25,6 +26,8 @@ import (
 // in O(n²) (any kernel). Bandwidths whose effective degrees of freedom
 // reach the sample size (tr(H)+2 ≥ n, a degenerate interpolating fit)
 // score +Inf, as do non-positive bandwidths.
+//
+//kernvet:ignore compsum -- naive reference implementation: plain left-to-right sums are the oracle the fast paths are tested against
 func AICcScore(x, y []float64, h float64, k kernel.Kind) float64 {
 	if !(h > 0) {
 		return math.Inf(1)
@@ -109,25 +112,25 @@ func SortedGridSearchAICc(x, y []float64, g Grid) (Result, error) {
 			yv = append(yv, y[l])
 		}
 		sortx.QuickSort64(absd, yv)
-		var sy, syd2, sd2 float64
+		var sy, syd2, sd2 mathx.NeumaierAccumulator
 		cnt := 0
 		ptr := 0
 		for j, h := range g.H {
 			for ptr < n && absd[ptr] <= h {
 				d2 := absd[ptr] * absd[ptr]
-				sy += yv[ptr]
-				syd2 += yv[ptr] * d2
-				sd2 += d2
+				sy.Add(yv[ptr])
+				syd2.Add(yv[ptr] * d2)
+				sd2.Add(d2)
 				cnt++
 				ptr++
 			}
 			h2 := h * h
-			den := 0.75 * (float64(cnt) - sd2/h2)
+			den := 0.75 * (float64(cnt) - sd2.Sum()/h2)
 			if den <= 0 {
 				bad[j] = true
 				continue
 			}
-			num := 0.75 * (sy - syd2/h2)
+			num := 0.75 * (sy.Sum() - syd2.Sum()/h2)
 			r := y[i] - num/den
 			rss[j] += r * r
 			trH[j] += k0 / den

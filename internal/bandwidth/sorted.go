@@ -56,6 +56,8 @@ func (s Stability) String() string {
 //
 // over in-range terms (d ≤ h), so only three prefix sums and a count are
 // carried across bandwidths.
+//
+//kernvet:ignore compsum -- plain-arithmetic ablation: golden.json and the conformance Exact class pin these exact sums; the stable path is epanechnikovSweepCompensated
 func epanechnikovSweep(absd, yv []float64, yi float64, grid []float64, scores []float64) {
 	var sy, syd2, sd2 float64
 	cnt := 0
@@ -82,6 +84,8 @@ func epanechnikovSweep(absd, yv []float64, yi float64, grid []float64, scores []
 
 // uniformSweep is the Uniform-kernel variant: K(u) = 0.5·1{|u|≤1}, so only
 // Σy and the count are needed.
+//
+//kernvet:ignore compsum -- plain-arithmetic ablation pinned by the conformance harness; the stable path is uniformSweepCompensated
 func uniformSweep(absd, yv []float64, yi float64, grid []float64, scores []float64) {
 	var sy float64
 	cnt := 0
@@ -102,6 +106,8 @@ func uniformSweep(absd, yv []float64, yi float64, grid []float64, scores []float
 
 // triangularSweep is the Triangular-kernel variant: K(u) = 1−|u| on
 // |u| ≤ 1, factoring as num(h) = Σy − Σ(y·|d|)/h, den(h) = cnt − Σ|d|/h.
+//
+//kernvet:ignore compsum -- plain-arithmetic ablation pinned by the conformance harness; the stable path is triangularSweepCompensated
 func triangularSweep(absd, yv []float64, yi float64, grid []float64, scores []float64) {
 	var sy, syad, sad float64
 	cnt := 0
@@ -288,6 +294,12 @@ func SortedGridSearchKernelContext(ctx context.Context, x, y []float64, g Grid, 
 // with an explicit summation mode. Uncompensated reproduces the seed's
 // plain running prefix sums; every public entry point defaults to
 // Compensated.
+// SortedGridSearchKernelStability is SortedGridSearchKernelStabilityContext
+// without cancellation.
+func SortedGridSearchKernelStability(x, y []float64, g Grid, k kernel.Kind, st Stability) (Result, error) {
+	return SortedGridSearchKernelStabilityContext(context.Background(), x, y, g, k, st)
+}
+
 func SortedGridSearchKernelStabilityContext(ctx context.Context, x, y []float64, g Grid, k kernel.Kind, st Stability) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
@@ -337,6 +349,12 @@ func SortedGridSearchParallelContext(ctx context.Context, x, y []float64, g Grid
 // SortedGridSearchParallelStabilityContext is
 // SortedGridSearchParallelContext with an explicit summation mode for the
 // per-worker sweeps.
+// SortedGridSearchParallelStability is
+// SortedGridSearchParallelStabilityContext without cancellation.
+func SortedGridSearchParallelStability(x, y []float64, g Grid, workers int, st Stability) (Result, error) {
+	return SortedGridSearchParallelStabilityContext(context.Background(), x, y, g, workers, st)
+}
+
 func SortedGridSearchParallelStabilityContext(ctx context.Context, x, y []float64, g Grid, workers int, st Stability) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err

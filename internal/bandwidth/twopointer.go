@@ -118,6 +118,12 @@ func TwoPointerGridSearchKernelContext(ctx context.Context, x, y []float64, g Gr
 // TwoPointerGridSearchKernelStabilityContext is
 // TwoPointerGridSearchKernelContext with an explicit summation mode for
 // the prefix sums (the same Stability switch as the sorted search).
+// TwoPointerGridSearchKernelStability is
+// TwoPointerGridSearchKernelStabilityContext without cancellation.
+func TwoPointerGridSearchKernelStability(x, y []float64, g Grid, k kernel.Kind, st Stability) (Result, error) {
+	return TwoPointerGridSearchKernelStabilityContext(context.Background(), x, y, g, k, st)
+}
+
 func TwoPointerGridSearchKernelStabilityContext(ctx context.Context, x, y []float64, g Grid, k kernel.Kind, st Stability) (Result, error) {
 	ws := AcquireWorkspace(len(x), g.Len())
 	defer ws.Release()
@@ -194,6 +200,12 @@ func TwoPointerGridSearchParallelContext(ctx context.Context, x, y []float64, g 
 // TwoPointerGridSearchParallelStabilityContext is
 // TwoPointerGridSearchParallelContext with an explicit summation mode
 // for the per-worker sweeps.
+// TwoPointerGridSearchParallelStability is
+// TwoPointerGridSearchParallelStabilityContext without cancellation.
+func TwoPointerGridSearchParallelStability(x, y []float64, g Grid, workers int, st Stability) (Result, error) {
+	return TwoPointerGridSearchParallelStabilityContext(context.Background(), x, y, g, workers, st)
+}
+
 func TwoPointerGridSearchParallelStabilityContext(ctx context.Context, x, y []float64, g Grid, workers int, st Stability) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err
@@ -282,6 +294,12 @@ func TwoPointerGridSearchLocalLinearContext(ctx context.Context, x, y []float64,
 // TwoPointerGridSearchLocalLinearStabilityContext is
 // TwoPointerGridSearchLocalLinearContext with an explicit summation
 // mode for the nine-sum sweep.
+// TwoPointerGridSearchLocalLinearStability is
+// TwoPointerGridSearchLocalLinearStabilityContext without cancellation.
+func TwoPointerGridSearchLocalLinearStability(x, y []float64, g Grid, st Stability) (Result, error) {
+	return TwoPointerGridSearchLocalLinearStabilityContext(context.Background(), x, y, g, st)
+}
+
 func TwoPointerGridSearchLocalLinearStabilityContext(ctx context.Context, x, y []float64, g Grid, st Stability) (Result, error) {
 	if err := validateSample(x, y); err != nil {
 		return Result{}, err

@@ -1,0 +1,69 @@
+package bandwidth
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestPoolStatsConcurrentAudit hammers the workspace pool from many
+// goroutines while a reader polls PoolStats, auditing the hit/miss
+// counters for atomicity (the race detector) and for conservation: the
+// counter delta must equal the number of acquisitions exactly — a torn
+// or lost update would break the equality. This is the regression test
+// for the /metrics workspace_pool contract.
+func TestPoolStatsConcurrentAudit(t *testing.T) {
+	const (
+		workers  = 8
+		perG     = 200
+		poll     = 500
+		sampleN  = 257 // odd size off the capacity-class boundary
+		gridSize = 33
+	)
+	h0, m0 := PoolStats()
+
+	var writers, reader sync.WaitGroup
+	stop := make(chan struct{})
+	// Reader: PoolStats must be consistent while writers run — each
+	// counter individually monotone non-decreasing.
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		var lastH, lastM uint64
+		for i := 0; i < poll; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h, m := PoolStats()
+			if h < lastH || m < lastM {
+				t.Errorf("PoolStats went backwards: hits %d→%d, misses %d→%d", lastH, h, lastM, m)
+				return
+			}
+			lastH, lastM = h, m
+		}
+	}()
+	for g := 0; g < workers; g++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < perG; i++ {
+				ws := AcquireWorkspace(sampleN, gridSize)
+				ws.zeroScores(gridSize)
+				ws.Release()
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	reader.Wait()
+
+	h1, m1 := PoolStats()
+	got := (h1 + m1) - (h0 + m0)
+	if want := uint64(workers * perG); got != want {
+		t.Errorf("hit+miss delta = %d, want exactly %d acquisitions (lost or double-counted updates)", got, want)
+	}
+	if h1 == h0 {
+		t.Errorf("no pool hits recorded across %d same-size acquisitions; pooling is not reusing workspaces", workers*perG)
+	}
+}

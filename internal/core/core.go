@@ -158,6 +158,8 @@ func fillRow(xs, ys []float32, j int, absRow, yRow []float32) {
 // This is the shared arithmetic of Programs 3 and 4: float32 throughout,
 // in-range terms accumulated in sorted order, self terms subtracted at
 // the end, 0.75 Epanechnikov scaling applied after the division by h².
+//
+//kernvet:ignore compsum -- mirrors the paper's device arithmetic exactly; golden.json pins these plain f32 sums, and accumulateRowCompensated is the stable variant
 func accumulateRow(absRow, yRow []float32, yj float32, hs []float32, scores []float32) {
 	n := len(absRow)
 	var sy, syd2, sd2 float32

@@ -137,6 +137,8 @@ func SelectKDEGPU(x []float64, grid []float64, opt GPUOptions) (KDEResult, *GPUR
 // sweeps the ascending grid with two monotone pointers, writing the
 // per-observation partial terms of the two LSCV double sums with
 // switched indices.
+//
+//kernvet:ignore compsum -- device kernel mirroring the paper's single-precision LSCV sums; its output is pinned by the KDE cross-checks against the host reference
 func launchKDEMainKernel(dev *gpu.Device, dX, dAbsD, mK, mC gpu.Buffer, bwSym *gpu.ConstSymbol, n, k, blockDim int) (gpu.Tally, error) {
 	if blockDim > dev.Props().MaxThreadsPerBlock {
 		blockDim = dev.Props().MaxThreadsPerBlock

@@ -19,6 +19,8 @@ import (
 // (one bandwidth's squared residuals) and writes the total to out[outIdx].
 // blockDim is T, the number of threads in the single block; it must be a
 // power of two no larger than the device's block limit.
+//
+//kernvet:ignore compsum -- reproduces the reference CUDA reduction verbatim (plain f32 strided sums); SumReduceKahan is the compensated variant
 func SumReduce(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outIdx, blockDim int) error {
 	if err := checkReduceArgs(dev, n, blockDim); err != nil {
 		return err
@@ -104,6 +106,8 @@ func SumReduceKahan(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, 
 // memory, no synchronisation — but the atomics serialise on the output
 // address, which is why the paper's program uses the tree instead. The
 // caller must Memset the output cell to 0 beforehand.
+//
+//kernvet:ignore compsum -- reproduces the reference CUDA atomic reduction verbatim; SumReduceKahan is the compensated variant
 func SumReduceAtomic(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outIdx, blockDim int) error {
 	if err := checkReduceArgs(dev, n, blockDim); err != nil {
 		return err
@@ -132,6 +136,8 @@ func SumReduceAtomic(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer,
 // strictly higher than the sequential-addressing version's, which packs
 // active threads into the low warps. Kept as the ablation for the
 // reduction-optimisation lineage the paper inherits.
+//
+//kernvet:ignore compsum -- ablation of Harris's naive interleaved reduction, kept bit-identical to SumReduce; SumReduceKahan is the compensated variant
 func SumReduceInterleaved(dev *gpu.Device, in gpu.Buffer, off, n int, out gpu.Buffer, outIdx, blockDim int) error {
 	if err := checkReduceArgs(dev, n, blockDim); err != nil {
 		return err
@@ -233,6 +239,8 @@ func SumReduceGrid(dev *gpu.Device, in gpu.Buffer, off, n int, scratch, out gpu.
 // elements apart), which is exactly the memory-traffic penalty the
 // paper's index switch ("the matrix indices are switched at this stage")
 // exists to avoid.
+//
+//kernvet:ignore compsum -- ablation mirroring the unswitched-layout CUDA reduction, arithmetic kept identical to SumReduce; SumReduceKahan is the compensated variant
 func SumReduceStrided(dev *gpu.Device, in gpu.Buffer, off, n, stride int, out gpu.Buffer, outIdx, blockDim int) error {
 	if stride == 1 {
 		return SumReduce(dev, in, off, n, out, outIdx, blockDim)

@@ -122,6 +122,8 @@ func (c *Clock) Reset() { c.total = 0; c.events = nil }
 
 // ByLabel aggregates the ledger by label prefix up to the first space,
 // summarising e.g. all "memcpy …" events as "memcpy".
+//
+//kernvet:ignore compsum -- telemetry aggregation over a short event ledger, not a numerical sweep; microsecond-scale drift is irrelevant here
 func (c *Clock) ByLabel() map[string]float64 {
 	out := make(map[string]float64)
 	for _, e := range c.events {
@@ -139,6 +141,8 @@ func (c *Clock) ByLabel() map[string]float64 {
 
 // ByFullLabel aggregates the ledger by complete label ("kernel sumReduce"
 // stays distinct from "kernel bandwidthMain"), for per-kernel attribution.
+//
+//kernvet:ignore compsum -- telemetry aggregation over a short event ledger, not a numerical sweep
 func (c *Clock) ByFullLabel() map[string]float64 {
 	out := make(map[string]float64)
 	for _, e := range c.events {

@@ -1,0 +1,76 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bandwidth"
+)
+
+// TestMetricsWriteJSONConcurrent renders /metrics concurrently with
+// counter updates, histogram observations, and pooled selections that
+// advance the workspace_pool counters. Every render must be valid JSON
+// with a complete workspace_pool object, and sequential reads of the
+// pool counters must never go backwards — the atomicity audit for the
+// /metrics path, meaningful under -race.
+func TestMetricsWriteJSONConcurrent(t *testing.T) {
+	m := newMetrics()
+	const (
+		writers = 4
+		renders = 50
+		perG    = 100
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Requests.Add(1)
+				m.Latency["select"].Observe(time.Duration(i%7) * time.Millisecond)
+				// Drive the pool counters the rendered workspace_pool
+				// object reads from.
+				ws := bandwidth.AcquireWorkspace(128, 16)
+				ws.Release()
+			}
+		}(g)
+	}
+
+	var lastHits, lastMisses float64
+	for i := 0; i < renders; i++ {
+		var buf bytes.Buffer
+		if err := m.WriteJSON(&buf); err != nil {
+			t.Fatalf("WriteJSON during concurrent updates: %v", err)
+		}
+		var out struct {
+			WorkspacePool struct {
+				Hits   float64 `json:"hits"`
+				Misses float64 `json:"misses"`
+			} `json:"workspace_pool"`
+			Latency map[string]json.RawMessage `json:"latency"`
+		}
+		if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+			t.Fatalf("render %d is not valid JSON: %v\n%s", i, err, buf.String())
+		}
+		wp := out.WorkspacePool
+		if wp.Hits < lastHits || wp.Misses < lastMisses {
+			t.Fatalf("workspace_pool went backwards: hits %v→%v, misses %v→%v",
+				lastHits, wp.Hits, lastMisses, wp.Misses)
+		}
+		lastHits, lastMisses = wp.Hits, wp.Misses
+		if _, ok := out.Latency["select"]; !ok {
+			t.Fatalf("render %d is missing the select latency histogram", i)
+		}
+	}
+	wg.Wait()
+
+	if got := m.Latency["select"].Count(); got != int64(writers*perG) {
+		t.Errorf("histogram count = %d, want %d (lost observations)", got, writers*perG)
+	}
+	if got := m.Requests.Value(); got != int64(writers*perG) {
+		t.Errorf("requests counter = %d, want %d", got, writers*perG)
+	}
+}
