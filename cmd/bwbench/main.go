@@ -12,6 +12,8 @@
 //	bwbench -runs 5            # the paper's 5-repetition protocol
 //	bwbench -twopointer        # two-pointer vs sorted head-to-head (JSON)
 //	bwbench -twopointer -o BENCH_4.json
+//	bwbench -bagged            # bagged vs exact up to n = 1,000,000 (JSON)
+//	bwbench -bagged -o BENCH_6.json
 //
 // Columns marked * are the GPU simulator's modelled device seconds;
 // columns marked ^ are extrapolated along the program's complexity curve
@@ -60,11 +62,16 @@ func run() error {
 		paper   = flag.Bool("paper", true, "also print the paper's published numbers")
 		extra   = flag.Bool("gonative", false, "include the Go-native parallel selectors in Table I")
 		twoPtr  = flag.Bool("twopointer", false, "benchmark the two-pointer sweep against the sorted search and emit JSON")
-		outPath = flag.String("o", "", "output file for -twopointer JSON (default stdout)")
+		bagged  = flag.Bool("bagged", false, "benchmark bagged selection up to n=1,000,000 against the exact sweep and emit JSON")
+		bagMaxN = flag.Int("bagged-maxn", 1_000_000, "largest n measured by -bagged (CI smoke runs cap this)")
+		outPath = flag.String("o", "", "output file for -twopointer/-bagged JSON (default stdout)")
 	)
 	flag.Parse()
 	if *twoPtr {
 		return runTwoPointer(*seed, *outPath)
+	}
+	if *bagged {
+		return runBagged(*seed, *outPath, *bagMaxN)
 	}
 	if !*table1 && !*table2a && !*table2b && !*figure1 && !*verdict && !*future {
 		*all = true

@@ -28,9 +28,12 @@ const wsClasses = 48
 // workspace sized for 1<<c serves every n in (1<<(c-1), 1<<c].
 var wsPools [wsClasses]sync.Pool
 
-// poolHits / poolMisses count Acquire outcomes; kernregd exports them
-// through /metrics so allocation behaviour is observable in production.
-var poolHits, poolMisses atomic.Uint64
+// poolHits / poolMisses count Acquire outcomes; poolReleases counts
+// Release calls. kernregd exports all three through /metrics so
+// allocation behaviour is observable in production, and the serve test
+// battery asserts hits+misses == releases at rest — a leaked workspace
+// (an Acquire whose path skipped Release) shows up as a widening gap.
+var poolHits, poolMisses, poolReleases atomic.Uint64
 
 // PoolStats reports how many workspace acquisitions were served from
 // the pool (hits) versus freshly allocated (misses) since process
@@ -38,6 +41,11 @@ var poolHits, poolMisses atomic.Uint64
 func PoolStats() (hits, misses uint64) {
 	return poolHits.Load(), poolMisses.Load()
 }
+
+// PoolReleases reports how many workspaces have been returned to the
+// pools since process start. At rest (no selection in flight) it equals
+// hits+misses from PoolStats.
+func PoolReleases() uint64 { return poolReleases.Load() }
 
 // capClass returns the pool class for capacity n: the smallest c with
 // 1<<c >= n.
@@ -97,6 +105,7 @@ func AcquireWorkspace(n, k int) *Workspace {
 // must not use the workspace (or any Result.Scores aliasing it — see
 // TwoPointerGridSearchInto) afterwards.
 func (ws *Workspace) Release() {
+	poolReleases.Add(1)
 	wsPools[capClass(cap(ws.xs))].Put(ws)
 }
 

@@ -159,6 +159,18 @@ func checkOneInvariant(s Selector, inv Invariant, d Dataset, g bandwidth.Grid) I
 		res.Detail = "continuum search trajectory is not invariant under this transform"
 		return res
 	}
+	if s.Class == Statistical && inv.Name == "permute" {
+		// Bag membership is drawn over observation *indices*, so permuting
+		// the rows changes which rows each bag contains — the selection is
+		// a different (equally valid) estimate, not a comparable image.
+		// The exact transforms do hold bitwise: scale-x-pow2 and flip-y
+		// keep the bags identical, commute with every per-bag sweep, and
+		// the compensated mean scales exactly by powers of two. shift-x
+		// keeps the bags identical too, so the class tolerance applies.
+		res.Status = Skip
+		res.Detail = "permuting observations changes index-based bag membership"
+		return res
+	}
 	base, err := s.Run(context.Background(), d.X, d.Y, g)
 	if err != nil {
 		res.Status = Fail

@@ -53,10 +53,33 @@ import (
 // self-consistency: h is finite and positive, and re-evaluating the
 // naive float64 objective at the reported h reproduces the reported CV
 // within continuumCVTol.
+// Statistical (bagged subsample) selectors estimate the full-sample
+// bandwidth from r subsamples of size m < n and rescale by (m/n)^(1/5);
+// the estimate is deterministic given the seed but carries genuine
+// subsampling variability, so no pointwise equality against the oracle
+// arg-min is meaningful — on a flat CV surface (constant Y, masked
+// samples) the exact arg-min is itself an arbitrary tie-break, and a
+// bandwidth far from it can be exactly as good. The policy therefore
+// checks *near-optimality in the objective*: re-evaluate the naive
+// float64 CV at the bagged h and require
+//
+//	CV(h_bagged) ≤ statCVInflation · CV(h_oracle) + statNoiseFloor · mean(Y²)
+//
+// The multiplicative term bounds genuine statistical regret; the
+// additive term is a noise floor (squared-residual scale) under which
+// the whole surface is float64 rounding fuzz and any h ties. The sharp
+// bagged-vs-exact error bounds at realistic n live in bagged_test.go's
+// statistical battery. On the m == n degenerate path the bagged
+// selector runs one exact full-sample sweep and reports a grid index,
+// and the Exact policy applies verbatim. The per-bag mean CV is not
+// compared against the oracle CV: it estimates the attained objective
+// at sample size m, a different (larger-variance) quantity.
 const (
-	exactCVTol     = 1e-9
-	continuumCVTol = 1e-6
-	eps32          = 1.0 / (1 << 23)
+	exactCVTol      = 1e-9
+	continuumCVTol  = 1e-6
+	eps32           = 1.0 / (1 << 23)
+	statCVInflation = 3.0
+	statNoiseFloor  = 1e-20
 )
 
 // float32CVTol returns the relative CV tolerance for the float32 device
@@ -80,9 +103,52 @@ func checkAgainstOracle(s Selector, got, oracle bandwidth.Result, d Dataset, g b
 		return checkFloat32(got, oracle, d, g)
 	case Continuum:
 		return checkContinuum(got, d)
+	case Statistical:
+		return checkStatistical(got, oracle, d, g)
 	default:
 		return fmt.Errorf("unknown selector class %d", s.Class)
 	}
+}
+
+// checkStatistical applies the near-optimality policy documented above.
+func checkStatistical(got, oracle bandwidth.Result, d Dataset, g bandwidth.Grid) error {
+	if got.Index >= 0 {
+		// Degenerate m == n path: one exact full-sample sweep.
+		return checkExact(got, oracle, g)
+	}
+	if !(got.H > 0) || math.IsInf(got.H, 0) || math.IsNaN(got.H) {
+		return fmt.Errorf("selected h %g is not finite positive", got.H)
+	}
+	// The rescale factor pulls h below the grid minimum by design; the
+	// upper bound still applies (no bag can select beyond g.Max).
+	if got.H > g.Max()*(1+1e-12) {
+		return fmt.Errorf("selected h %g exceeds the grid maximum %g", got.H, g.Max())
+	}
+	ref := bandwidth.CVScore(d.X, d.Y, got.H, kernel.Epanechnikov)
+	if !mathx.IsFinite(ref) || !mathx.IsFinite(oracle.CV) {
+		if mathx.IsFinite(ref) == mathx.IsFinite(oracle.CV) {
+			return nil // both degenerate at their h — nothing to rank
+		}
+		return fmt.Errorf("objective at bagged h %g is %g while oracle CV is %g", got.H, ref, oracle.CV)
+	}
+	floor := statNoiseFloor * meanSq(d.Y)
+	if ref <= statCVInflation*oracle.CV+floor {
+		return nil
+	}
+	return fmt.Errorf("objective at bagged h %g is %g, more than %g× the oracle minimum %g (at h=%g)",
+		got.H, ref, statCVInflation, oracle.CV, oracle.H)
+}
+
+// meanSq returns the mean of y², the natural scale of a CV score.
+func meanSq(y []float64) float64 {
+	var acc mathx.NeumaierAccumulator
+	for _, v := range y {
+		acc.Add(v * v)
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	return acc.Sum() / float64(len(y))
 }
 
 func checkExact(got, oracle bandwidth.Result, g bandwidth.Grid) error {

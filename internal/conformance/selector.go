@@ -58,6 +58,13 @@ const (
 	// to compare, so only self-consistency is checked: the reported CV
 	// must equal the naive objective re-evaluated at the reported h.
 	Continuum
+	// Statistical selectors are randomized estimators of the oracle's
+	// answer (the bagged subsample selector): deterministic given a
+	// seed, but deliberately not computing the full-sample objective.
+	// The policy checks a tolerance *band* around the oracle bandwidth
+	// rather than any exact or ULP-scaled equality — except on the
+	// m == n degenerate path, which must match the Exact contract.
+	Statistical
 )
 
 // String returns the class name used in reports.
@@ -69,6 +76,8 @@ func (c Class) String() string {
 		return "float32"
 	case Continuum:
 		return "continuum"
+	case Statistical:
+		return "statistical"
 	default:
 		return "unknown"
 	}
@@ -238,6 +247,26 @@ func Registry() []Selector {
 			Name: "ll-twopointer", Class: Exact, Family: LocalLinear, MinN: 2,
 			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
 				return bandwidth.TwoPointerGridSearchLocalLinearContext(ctx, x, y, g)
+			},
+		},
+		{
+			// bagged runs with deliberately small fixed parameters (5 bags
+			// of 3n/4) so the subsampling machinery is genuinely exercised
+			// on the small corpus — the production defaults would pick
+			// m = n there and reduce every cell to the degenerate path.
+			Name: "bagged", Class: Statistical, Family: LocalConstant, MinN: 2,
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				m := 3 * len(x) / 4
+				if m < 2 {
+					m = 2
+				}
+				r, err := bandwidth.BaggedGridSearchContext(ctx, x, y, g, kernel.Epanechnikov, bandwidth.BaggedOptions{
+					Bags: 5, BagSize: m, Seed: 20170529, Workers: 2,
+				})
+				if err != nil {
+					return bandwidth.Result{}, err
+				}
+				return r.Result, nil
 			},
 		},
 		{

@@ -247,6 +247,19 @@ func TestTieBreakLowestIndex(t *testing.T) {
 				if err != nil {
 					t.Fatalf("selector failed: %v", err)
 				}
+				if s.Class == Statistical && r.Index == -1 {
+					// Non-degenerate bagged runs: every bag ties to index 0
+					// with CV 0, so the mean CV must be exactly 0 and the
+					// aggregate h exactly factor·g.H[0] — the rescaled image
+					// of the lowest-index tie-break.
+					if r.CV != 0 {
+						t.Errorf("bagged mean CV = %g on all-zero bag scores, want exactly 0", r.CV)
+					}
+					if !(r.H > 0) || r.H > g.H[0] {
+						t.Errorf("bagged h = %g, want in (0, %g] (rescaled lowest grid point)", r.H, g.H[0])
+					}
+					return
+				}
 				if r.Index != 0 {
 					t.Errorf("tie broken to index %d (h=%g), want lowest index 0 (h=%g)", r.Index, r.H, g.H[0])
 				}
@@ -283,6 +296,12 @@ func TestDegenerateAllSelectorsAgree(t *testing.T) {
 			if s.Class == Continuum {
 				if !(r.H > 0) || math.IsInf(r.H, 0) {
 					t.Errorf("continuum h = %g, want finite positive", r.H)
+				}
+				return
+			}
+			if s.Class == Statistical && r.Index == -1 {
+				if !(r.H > 0) || r.H > g.H[0] {
+					t.Errorf("bagged h = %g, want in (0, %g] (rescaled lowest grid point)", r.H, g.H[0])
 				}
 				return
 			}

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/bandwidth"
 	"repro/internal/data"
+	"repro/internal/kernel"
 )
 
 // Golden regression tests: with fixed seeds the selected grid index is a
@@ -115,6 +116,54 @@ func TestGoldenSelections(t *testing.T) {
 				"if the drift is intended, refresh with `go test ./internal/core -run TestGoldenSelections -update`.",
 				w.Selector, w.N, w.K, w.Seed, want[i].Index, want[i].H, want[i].CV, w.Index, w.H, w.CV)
 		}
+	}
+}
+
+// TestGoldenBaggedDegenerate guards the bagged selector's r=1, m=n
+// degenerate path against the stored baseline: it must reproduce the
+// "twopointer" entries of golden.json bit-exactly, because a degenerate
+// bagged run is one exact two-pointer sweep by construction. No new
+// golden entries are needed — the guard rides on the existing ones, so
+// the baseline never has to be regenerated for the bagged selector.
+func TestGoldenBaggedDegenerate(t *testing.T) {
+	blob, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatalf("missing golden baseline: %v", err)
+	}
+	var want []goldenEntry
+	if err := json.Unmarshal(blob, &want); err != nil {
+		t.Fatalf("corrupt golden baseline: %v", err)
+	}
+	checked := 0
+	for _, w := range want {
+		if w.Selector != "twopointer" {
+			continue
+		}
+		d := data.GeneratePaper(w.N, w.Seed)
+		g, err := bandwidth.DefaultGrid(d.X, w.K)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The seed must be irrelevant on the degenerate path: every bag is
+		// the full sample.
+		for _, seed := range []uint64{0, 7} {
+			r, err := bandwidth.BaggedGridSearch(d.X, d.Y, g, kernel.Epanechnikov,
+				bandwidth.BaggedOptions{Bags: 1, BagSize: w.N, Seed: seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Index != w.Index || r.H != w.H || r.CV != w.CV {
+				t.Errorf("n=%d k=%d seed=%d bagSeed=%d: degenerate bagged (index=%d h=%v cv=%v) differs from stored twopointer (index=%d h=%v cv=%v)",
+					w.N, w.K, w.Seed, seed, r.Index, r.H, r.CV, w.Index, w.H, w.CV)
+			}
+			if r.Factor != 1 {
+				t.Errorf("n=%d: degenerate rescale factor %v, want exactly 1", w.N, r.Factor)
+			}
+		}
+		checked++
+	}
+	if checked != len(goldenCases) {
+		t.Fatalf("checked %d twopointer baseline entries, want %d — baseline layout changed", checked, len(goldenCases))
 	}
 }
 

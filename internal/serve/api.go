@@ -46,6 +46,13 @@ type SelectRequest struct {
 	// false requests the paper's plain float32/float64 accumulation for
 	// ablation runs.
 	Stable *bool `json:"stable,omitempty"`
+	// Bags, BagSize and Seed configure "method": "bagged" (pointers so an
+	// explicit zero or negative value is distinguishable from absent and
+	// rejected with a crisp message). Omitted values take the large-n
+	// defaults: 20 bags of size min(4096, max(512, ⌈n^0.7⌉)), seed 0.
+	Bags    *int   `json:"bags,omitempty"`
+	BagSize *int   `json:"bag_size,omitempty"`
+	Seed    *int64 `json:"seed,omitempty"`
 }
 
 // SelectResponse is the body of a successful /v1/select.
@@ -180,8 +187,42 @@ func decodeSelectRequest(body io.Reader, cfg Config) (*SelectRequest, []kernreg.
 	if req.Stable != nil {
 		opts = append(opts, kernreg.Stable(*req.Stable))
 	}
+	if req.Bags != nil || req.BagSize != nil || req.Seed != nil {
+		if req.Method != "bagged" {
+			return nil, nil, badRequest("bags, bag_size and seed require \"method\": \"bagged\", got %q", req.Method)
+		}
+		if req.Bags != nil {
+			switch {
+			case *req.Bags < 1:
+				return nil, nil, badRequest("bags must be at least 1, got %d", *req.Bags)
+			case *req.Bags > maxBags:
+				return nil, nil, tooLarge("bags=%d exceeds the limit of %d", *req.Bags, maxBags)
+			}
+			opts = append(opts, kernreg.Bags(*req.Bags))
+		}
+		if req.BagSize != nil {
+			switch {
+			case *req.BagSize < 2:
+				return nil, nil, badRequest("bag_size must be at least 2, got %d", *req.BagSize)
+			case *req.BagSize > len(req.X):
+				return nil, nil, badRequest("bag_size=%d exceeds n=%d", *req.BagSize, len(req.X))
+			}
+			opts = append(opts, kernreg.BagSize(*req.BagSize))
+		}
+		if req.Seed != nil {
+			if *req.Seed < 0 {
+				return nil, nil, badRequest("seed must be non-negative, got %d", *req.Seed)
+			}
+			opts = append(opts, kernreg.Seed(*req.Seed))
+		}
+	}
 	return &req, opts, nil
 }
+
+// maxBags bounds the subsample count a single request can ask for —
+// each bag is a full Θ(m²) sweep, so bags multiplies compute the same
+// way n² does and needs its own admission limit.
+const maxBags = 256
 
 // decodeFitPredictRequest parses and validates a /v1/fit-predict body.
 func decodeFitPredictRequest(body io.Reader, cfg Config) (*FitPredictRequest, *httpError) {

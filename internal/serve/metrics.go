@@ -80,10 +80,14 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		"heap_alloc":     ms.HeapAlloc,
 		"total_alloc":    ms.TotalAlloc,
 	}
+	// releases lets an operator spot a workspace leak: at rest,
+	// hits+misses == releases; a widening gap means some selection path
+	// acquired without releasing.
 	hits, misses := bandwidth.PoolStats()
 	out["workspace_pool"] = map[string]any{
-		"hits":   hits,
-		"misses": misses,
+		"hits":     hits,
+		"misses":   misses,
+		"releases": bandwidth.PoolReleases(),
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -582,7 +582,7 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if !ok {
 		t.Fatalf("metrics missing workspace_pool block: %s", body)
 	}
-	for _, key := range []string{"hits", "misses"} {
+	for _, key := range []string{"hits", "misses", "releases"} {
 		if _, ok := pool[key]; !ok {
 			t.Fatalf("metrics workspace_pool block missing %q: %s", key, body)
 		}

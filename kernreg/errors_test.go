@@ -22,7 +22,7 @@ func TestParseMethodRejectsUnknown(t *testing.T) {
 }
 
 func TestParseMethodRoundTrips(t *testing.T) {
-	for _, m := range []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled} {
+	for _, m := range []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled, MethodTwoPointer, MethodTwoPointerParallel, MethodTwoPointerF32, MethodBagged} {
 		got, err := ParseMethod(m.String())
 		if err != nil {
 			t.Errorf("ParseMethod(%q): %v", m.String(), err)
@@ -38,7 +38,7 @@ func TestParseMethodRoundTrips(t *testing.T) {
 
 // allMethods enumerates every search algorithm for the input-rejection
 // sweep.
-var allMethods = []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled}
+var allMethods = []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled, MethodTwoPointer, MethodTwoPointerParallel, MethodTwoPointerF32, MethodBagged}
 
 func TestSelectBandwidthRejectsTooFewObservations(t *testing.T) {
 	cases := map[string][2][]float64{
@@ -124,6 +124,42 @@ func TestSelectBandwidthMethodKernelMismatch(t *testing.T) {
 	}
 	if _, err := SelectBandwidth(x, y, WithMethod(MethodNaive), WithKernel("gaussian")); err != nil {
 		t.Errorf("naive with gaussian: %v", err)
+	}
+}
+
+func TestBaggedOptionErrors(t *testing.T) {
+	x := []float64{0.1, 0.4, 0.7, 0.9}
+	y := []float64{1, 2, 3, 4}
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"zero bags", []Option{WithMethod(MethodBagged), Bags(0)}, "bags must be at least 1, got 0"},
+		{"negative bags", []Option{WithMethod(MethodBagged), Bags(-2)}, "bags must be at least 1, got -2"},
+		{"bag size one", []Option{WithMethod(MethodBagged), BagSize(1)}, "bag size must be at least 2, got 1"},
+		{"bag size zero", []Option{WithMethod(MethodBagged), BagSize(0)}, "bag size must be at least 2, got 0"},
+		{"bag size over n", []Option{WithMethod(MethodBagged), BagSize(5)}, "bag size 5 exceeds the sample size 4"},
+		{"negative seed", []Option{WithMethod(MethodBagged), Seed(-1)}, "seed must be non-negative, got -1"},
+		{"bags on sorted", []Option{WithMethod(MethodSorted), Bags(4)}, "apply to MethodBagged only"},
+		{"bag size on default method", []Option{BagSize(3)}, "apply to MethodBagged only"},
+		{"seed on naive", []Option{WithMethod(MethodNaive), Seed(7)}, "apply to MethodBagged only"},
+		{"gaussian kernel", []Option{WithMethod(MethodBagged), WithKernel("gaussian")}, "kernel"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := SelectBandwidth(x, y, tc.opts...)
+			if err == nil {
+				t.Fatalf("accepted, want error containing %q", tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q lacks %q", err, tc.want)
+			}
+		})
+	}
+	// Valid bag parameters on the bagged method select successfully.
+	if _, err := SelectBandwidth(x, y, WithMethod(MethodBagged), Bags(3), BagSize(3), Seed(5)); err != nil {
+		t.Fatalf("valid bagged options: %v", err)
 	}
 }
 

@@ -66,6 +66,15 @@ const (
 	// MethodTwoPointerF32 is the single-precision two-pointer variant:
 	// Program 3's arithmetic with the global-sort enumeration.
 	MethodTwoPointerF32
+	// MethodBagged bags the two-pointer search over r subsamples of
+	// size m (Barreiro-Ures, Cao & Francisco-Fernández,
+	// arXiv:2105.04134): each bag runs an exact Θ(m²) sweep, the mean
+	// winner is rescaled by (m/n)^(1/5), and the whole selection costs
+	// Θ(r·m²) — reaching million-point samples the exact selectors
+	// cannot. Configure with Bags, BagSize and Seed; with BagSize(n)
+	// (or n ≤ 512 under the defaults) it degenerates to MethodTwoPointer
+	// bit-identically.
+	MethodBagged
 )
 
 // String returns the method name.
@@ -91,6 +100,8 @@ func (m Method) String() string {
 		return "twopointer-parallel"
 	case MethodTwoPointerF32:
 		return "twopointer-f32"
+	case MethodBagged:
+		return "bagged"
 	default:
 		return fmt.Sprintf("kernreg.Method(%d)", int(m))
 	}
@@ -98,7 +109,7 @@ func (m Method) String() string {
 
 // ParseMethod returns the Method named by s.
 func ParseMethod(s string) (Method, error) {
-	for _, m := range []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled, MethodTwoPointer, MethodTwoPointerParallel, MethodTwoPointerF32} {
+	for _, m := range []Method{MethodSorted, MethodSortedParallel, MethodSortedF32, MethodNaive, MethodNumerical, MethodGPU, MethodGPUTiled, MethodTwoPointer, MethodTwoPointerParallel, MethodTwoPointerF32, MethodBagged} {
 		if m.String() == s {
 			return m, nil
 		}
@@ -122,9 +133,19 @@ type config struct {
 	gridMax    float64
 	workers    int
 	starts     int
+	bags       int
+	bagSize    int
+	seed       int64
+	seedSet    bool
 	keepScores bool
 	stable     bool
 	pooled     bool
+}
+
+// bagOptsSet reports whether any bagging option was supplied, for
+// rejecting them on non-bagged methods.
+func (c config) bagOptsSet() bool {
+	return c.bags != 0 || c.bagSize != 0 || c.seedSet
 }
 
 // stability maps the stable flag to the host sweeps' summation mode.
@@ -181,8 +202,9 @@ func GridRange(min, max float64) Option {
 	}
 }
 
-// Workers sets the goroutine count for the parallel methods (0 =
-// GOMAXPROCS). Negative counts are rejected.
+// Workers sets the goroutine count for the parallel methods, including
+// MethodBagged's concurrent bag sweeps (0 = GOMAXPROCS). Negative
+// counts are rejected.
 func Workers(n int) Option {
 	return func(c *config) error {
 		if n < 0 {
@@ -200,6 +222,45 @@ func Restarts(n int) Option {
 			return errors.New("kernreg: restarts must be at least 1")
 		}
 		c.starts = n
+		return nil
+	}
+}
+
+// Bags sets the subsample count r for MethodBagged (default 20).
+func Bags(r int) Option {
+	return func(c *config) error {
+		if r < 1 {
+			return fmt.Errorf("kernreg: bags must be at least 1, got %d", r)
+		}
+		c.bags = r
+		return nil
+	}
+}
+
+// BagSize sets the subsample size m for MethodBagged. m must be at
+// least 2 and at most the sample size; the default grows like n^0.7,
+// clamped to [512, 4096] (and to n itself, so small samples select
+// exactly).
+func BagSize(m int) Option {
+	return func(c *config) error {
+		if m < 2 {
+			return fmt.Errorf("kernreg: bag size must be at least 2, got %d", m)
+		}
+		c.bagSize = m
+		return nil
+	}
+}
+
+// Seed fixes MethodBagged's subsampling streams: equal seeds reproduce
+// the selection bit-for-bit across runs and worker counts. Negative
+// seeds are rejected. The default seed is 0.
+func Seed(s int64) Option {
+	return func(c *config) error {
+		if s < 0 {
+			return fmt.Errorf("kernreg: seed must be non-negative, got %d", s)
+		}
+		c.seed = s
+		c.seedSet = true
 		return nil
 	}
 }
@@ -241,7 +302,8 @@ type Selection struct {
 	// CV is the leave-one-out cross-validation score at Bandwidth.
 	CV float64
 	// Index is the position in the grid (-1 for MethodNumerical, which
-	// searches a continuum).
+	// searches a continuum, and for non-degenerate MethodBagged, whose
+	// rescaled aggregate falls between grid points).
 	Index int
 	// Grid is the candidate grid used (nil for MethodNumerical).
 	Grid []float64
@@ -284,6 +346,9 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 	}
 	if err := ctx.Err(); err != nil {
 		return Selection{}, err
+	}
+	if c.method != MethodBagged && c.bagOptsSet() {
+		return Selection{}, fmt.Errorf("kernreg: Bags, BagSize and Seed apply to MethodBagged only, not %v", c.method)
 	}
 	if c.estimator == LocalLinear {
 		if c.criterion != CriterionCV {
@@ -356,6 +421,19 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 		} else {
 			r, err = core.TwoPointerSequentialUncompensatedContext(ctx, x, y, g)
 		}
+	case MethodBagged:
+		var br bandwidth.BaggedResult
+		br, err = bandwidth.BaggedGridSearchContext(ctx, x, y, g, c.kern, bandwidth.BaggedOptions{
+			Bags:      c.bags,
+			BagSize:   c.bagSize,
+			Seed:      uint64(c.seed),
+			Workers:   c.workers,
+			Stability: c.stability(),
+		})
+		// Non-degenerate bags report Index -1: the rescaled mean is a
+		// continuum value, not a grid point. The degenerate m == n path
+		// carries the exact sweep's index and scores through unchanged.
+		r = br.Result
 	default:
 		return Selection{}, fmt.Errorf("kernreg: unsupported method %v", c.method)
 	}
