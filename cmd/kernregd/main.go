@@ -46,6 +46,8 @@ func run() int {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful shutdown budget")
 		maxN         = flag.Int("max-n", 0, "max observations per request (0 = 100000)")
 		maxGrid      = flag.Int("max-grid", 0, "max grid points per request (0 = 2048)")
+		fleetDevices = flag.Int("fleet-devices", 0, "simulated GPUs serving \"method\": \"fleet\" (0 = 2)")
+		faultInject  = flag.Bool("enable-fault-injection", false, "register POST /v1/devices/inject (chaos testing only)")
 		debugAddr    = flag.String("debug-addr", "", "optional loopback address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
@@ -70,11 +72,13 @@ func run() int {
 	}
 
 	srv := serve.New(serve.Config{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		Timeout:    *timeout,
-		MaxN:       *maxN,
-		MaxGrid:    *maxGrid,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		Timeout:        *timeout,
+		MaxN:           *maxN,
+		MaxGrid:        *maxGrid,
+		FleetDevices:   *fleetDevices,
+		FaultInjection: *faultInject,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

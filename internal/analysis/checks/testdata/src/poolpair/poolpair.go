@@ -79,6 +79,36 @@ func earlyReturn(cond bool) {
 	pool.Put(w)
 }
 
+// requeueLoopLeak is the fleet-scheduler shape: a workspace acquired
+// before a retry loop, with an error path inside the loop returning
+// before the fall-through release — the exact leak the self-healing
+// requeue path would have without its deferred Release.
+func requeueLoopLeak(pending []int) error {
+	w := AcquireWorkspace() // want `released only on the fall-through path`
+	for len(pending) > 0 {
+		if pending[0] < 0 {
+			return nil // cancelled mid-requeue: workspace leaked
+		}
+		pending = pending[1:]
+	}
+	w.Release()
+	return nil
+}
+
+// requeueLoopDeferred is the corrected shape: every exit inside the
+// requeue loop passes through the deferred Release. Clean.
+func requeueLoopDeferred(pending []int) error {
+	w := AcquireWorkspace()
+	defer w.Release()
+	for len(pending) > 0 {
+		if pending[0] < 0 {
+			return nil
+		}
+		pending = pending[1:]
+	}
+	return nil
+}
+
 var slicePool sync.Pool
 
 // growPut puts back a slice append may have moved.

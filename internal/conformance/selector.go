@@ -35,6 +35,7 @@ import (
 	"repro/internal/bandwidth"
 	"repro/internal/baselines"
 	"repro/internal/core"
+	"repro/internal/gpu"
 	"repro/internal/kernel"
 	"repro/kernreg"
 )
@@ -228,6 +229,25 @@ func Registry() []Selector {
 			Name: "gpu-multi", Class: Float32, Family: LocalConstant, MinN: 2,
 			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
 				r, err := core.SelectGPUMultiContext(ctx, x, y, g, 3, core.GPUOptions{KeepScores: true})
+				return r.Result, err
+			},
+		},
+		{
+			// multigpu-chaos runs the fleet scheduler with an XID injected
+			// on device 1's first kernel launch, so every corpus dataset
+			// exercises the requeue path; the self-healing contract says
+			// the result is bit-identical to the healthy gpu-multi entry
+			// above, and the agreement matrix verifies exactly that.
+			Name: "multigpu-chaos", Class: Float32, Family: LocalConstant, MinN: 2,
+			Run: func(ctx context.Context, x, y []float64, g bandwidth.Grid) (bandwidth.Result, error) {
+				m, err := gpu.NewSimManager(3, gpu.TeslaS10())
+				if err != nil {
+					return bandwidth.Result{}, err
+				}
+				if err := m.InjectXID(1, 79, 1); err != nil {
+					return bandwidth.Result{}, err
+				}
+				r, err := core.SelectGPUFleetContext(ctx, x, y, g, m, core.GPUOptions{KeepScores: true})
 				return r.Result, err
 			},
 		},

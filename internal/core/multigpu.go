@@ -2,7 +2,10 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
+	"sync"
 
 	"repro/internal/bandwidth"
 	"repro/internal/cuda"
@@ -20,6 +23,14 @@ import (
 // modelled wall time is the maximum of the per-device clocks, and — as a
 // bonus the paper's future-work section would appreciate — the per-device
 // scratch is (n/D)×n, which moves the memory wall out by ≈√D·…/D.
+//
+// The sweep is scheduled against a gpu.Manager fleet rather than a fixed
+// device loop, and it self-heals: a device that faults mid-sweep (XID,
+// falls-off-bus, memory pressure) has its unfinished grid shards requeued
+// onto the surviving devices. Correctness is unaffected by *which* device
+// runs a shard — a shard's partial sums depend only on (x, y, g, start,
+// count, opt) and the host combine adds them in shard order — so a run
+// that survives a fault is bit-identical to a healthy run.
 
 // MultiGPUResult extends the selection with per-device accounting.
 type MultiGPUResult struct {
@@ -28,7 +39,18 @@ type MultiGPUResult struct {
 	DeviceSeconds []float64 // modelled per-device pipeline time
 	ModelSeconds  float64   // max over devices (they run concurrently)
 	MemPeaks      []int64
+	// Requeues counts shard executions abandoned on a faulted device and
+	// re-run on a survivor. Zero on a healthy fleet.
+	Requeues int
+	// Degraded is the number of fleet devices left unhealthy when the
+	// sweep completed.
+	Degraded int
 }
+
+// ErrNoHealthyDevices is returned when every device in the fleet is
+// unhealthy before the sweep finished — the one fault topology requeuing
+// cannot recover from.
+var ErrNoHealthyDevices = errors.New("core: no healthy devices remain in the fleet")
 
 // SelectGPUMulti runs the paper's pipeline split across `devices`
 // simulated GPUs. devices ≤ 1 falls back to a single device (but still
@@ -37,10 +59,10 @@ func SelectGPUMulti(x, y []float64, g bandwidth.Grid, devices int, opt GPUOption
 	return SelectGPUMultiContext(context.Background(), x, y, g, devices, opt)
 }
 
-// SelectGPUMultiContext is SelectGPUMulti with cooperative cancellation
-// at device-share granularity: ctx is polled before each device's share
-// of the pipeline runs, and inside each share once per reduction launch.
-// Cancellation returns ctx.Err() and a zero MultiGPUResult.
+// SelectGPUMultiContext is SelectGPUMulti with cooperative cancellation:
+// it builds a healthy simulated fleet of the requested size and runs the
+// fleet scheduler on it. Cancellation returns ctx.Err() and a zero
+// MultiGPUResult.
 func SelectGPUMultiContext(ctx context.Context, x, y []float64, g bandwidth.Grid, devices int, opt GPUOptions) (MultiGPUResult, error) {
 	if err := checkInputs(x, y, g); err != nil {
 		return MultiGPUResult{}, err
@@ -51,45 +73,184 @@ func SelectGPUMultiContext(ctx context.Context, x, y []float64, g bandwidth.Grid
 	if devices < 1 {
 		devices = 1
 	}
+	if devices > len(x) {
+		devices = len(x)
+	}
+	opt = opt.withDefaults()
+	m, err := gpu.NewSimManager(devices, opt.Props)
+	if err != nil {
+		return MultiGPUResult{}, err
+	}
+	return SelectGPUFleetContext(ctx, x, y, g, m, opt)
+}
+
+// SelectGPUFleet is SelectGPUFleetContext with a background context.
+func SelectGPUFleet(x, y []float64, g bandwidth.Grid, m gpu.Manager, opt GPUOptions) (MultiGPUResult, error) {
+	return SelectGPUFleetContext(context.Background(), x, y, g, m, opt)
+}
+
+// fleetShard is one device-sized share [start, start+count) of the
+// observations. idx is its position in the host combine, which is what
+// makes the result independent of which device runs it.
+type fleetShard struct {
+	idx, start, count int
+}
+
+// SelectGPUFleetContext runs the multi-device sweep on an explicit
+// device fleet. The observations are cut into min(DeviceCount, n)
+// shards; each round assigns the pending shards round-robin over the
+// currently healthy devices and runs one goroutine per device. A device
+// fault (gpu.IsDeviceFault) abandons that device and requeues its
+// unfinished shards for the next round; any other error is fatal. The
+// returned result is bit-identical to a healthy run whenever at least
+// one device survives, because partial sums are combined in shard order.
+//
+// ctx is polled between rounds, per shard, and inside each share once
+// per reduction launch; cancellation returns ctx.Err() and a zero
+// MultiGPUResult.
+func SelectGPUFleetContext(ctx context.Context, x, y []float64, g bandwidth.Grid, m gpu.Manager, opt GPUOptions) (MultiGPUResult, error) {
+	if err := checkInputs(x, y, g); err != nil {
+		return MultiGPUResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
+		return MultiGPUResult{}, err
+	}
 	opt = opt.withDefaults()
 	n := len(x)
 	k := g.Len()
-	if devices > n {
-		devices = n
+	nd := m.DeviceCount()
+	if nd < 1 {
+		return MultiGPUResult{}, fmt.Errorf("%w: fleet is empty", ErrNoHealthyDevices)
 	}
-	share := (n + devices - 1) / devices
+	numShards := nd
+	if numShards > n {
+		numShards = n
+	}
+	share := (n + numShards - 1) / numShards
 
-	partial := make([][]float32, devices)
-	secs := make([]float64, devices)
-	peaks := make([]int64, devices)
-	for d := 0; d < devices; d++ {
-		if err := ctx.Err(); err != nil {
-			return MultiGPUResult{}, err
-		}
-		start := d * share
+	pending := make([]fleetShard, 0, numShards)
+	for s := 0; s < numShards; s++ {
+		start := s * share
 		count := share
 		if start+count > n {
 			count = n - start
 		}
 		if count <= 0 {
-			partial[d] = make([]float32, k)
 			continue
 		}
-		sums, sec, peak, err := runDeviceShare(ctx, x, y, g, start, count, opt)
-		if err != nil {
-			if ctx.Err() != nil {
-				return MultiGPUResult{}, ctx.Err()
-			}
-			return MultiGPUResult{}, fmt.Errorf("device %d: %w", d, err)
-		}
-		partial[d], secs[d], peaks[d] = sums, sec, peak
+		pending = append(pending, fleetShard{idx: s, start: start, count: count})
 	}
 
-	// Host-side combine: add the D partial per-bandwidth sums (k values
-	// per device — trivial traffic) and pick the arg-min with the same
-	// smallest-h tie-break as the device reduction.
-	total := make([]float64, k)
+	// The combine's k-vector accumulator lives in a pooled workspace, so
+	// every return path — including a cancellation that lands while
+	// shards are being requeued — must give it back: defer handles all
+	// of them.
+	ws := bandwidth.AcquireWorkspace(n, k)
+	defer ws.Release()
+
+	partial := make([][]float32, numShards)
+	secs := make([]float64, nd)
+	peaks := make([]int64, nd)
+	requeues := 0
+
+	for round := 0; len(pending) > 0; round++ {
+		if err := ctx.Err(); err != nil {
+			return MultiGPUResult{}, err
+		}
+		// The first round assigns optimistically to every device — faults
+		// present before the sweep are discovered the way a CUDA program
+		// discovers them, through a failing open/launch/copy, and the
+		// shard requeues. Later rounds consult the health poll so a device
+		// that already faulted is never retried.
+		var alive []int
+		for i := 0; i < nd; i++ {
+			if round == 0 {
+				alive = append(alive, i)
+				continue
+			}
+			if h, err := m.DeviceHealth(i); err == nil && h.State == gpu.Healthy {
+				alive = append(alive, i)
+			}
+		}
+		if len(alive) == 0 {
+			return MultiGPUResult{}, fmt.Errorf("%w: %d shards unfinished after %d requeues",
+				ErrNoHealthyDevices, len(pending), requeues)
+		}
+		assign := make([][]fleetShard, len(alive))
+		for i, s := range pending {
+			assign[i%len(alive)] = append(assign[i%len(alive)], s)
+		}
+
+		var (
+			mu       sync.Mutex
+			requeued []fleetShard
+			fatal    error
+			wg       sync.WaitGroup
+		)
+		for wi := range alive {
+			if len(assign[wi]) == 0 {
+				continue
+			}
+			wg.Add(1)
+			go func(di int, shards []fleetShard) {
+				defer wg.Done()
+				for si, s := range shards {
+					if ctx.Err() != nil {
+						return // the round loop surfaces ctx.Err()
+					}
+					sums, sec, peak, err := runFleetShard(ctx, m, di, x, y, g, s.start, s.count, opt)
+					mu.Lock()
+					if err != nil {
+						switch {
+						case ctx.Err() != nil:
+							// Cancelled mid-share; nothing to record.
+						case gpu.IsDeviceFault(err):
+							// The device is gone: requeue everything it
+							// had not finished, this shard included.
+							requeued = append(requeued, shards[si:]...)
+							requeues += len(shards) - si
+						case fatal == nil:
+							fatal = fmt.Errorf("device %d: %w", di, err)
+						}
+						mu.Unlock()
+						return
+					}
+					partial[s.idx] = sums
+					//kernvet:ignore compsum -- modelled wall-clock bookkeeping (a device's seconds across requeue rounds), not a numerics sweep; the CV sums are compensated inside the kernel
+					secs[di] += sec
+					if peak > peaks[di] {
+						peaks[di] = peak
+					}
+					mu.Unlock()
+				}
+			}(alive[wi], assign[wi])
+		}
+		wg.Wait()
+		if err := ctx.Err(); err != nil {
+			return MultiGPUResult{}, err
+		}
+		if fatal != nil {
+			return MultiGPUResult{}, fatal
+		}
+		// Shard order in the next round is deterministic regardless of
+		// which worker faulted first.
+		sort.Slice(requeued, func(a, b int) bool { return requeued[a].idx < requeued[b].idx })
+		pending = requeued
+	}
+
+	// Host-side combine: add the per-shard partial per-bandwidth sums
+	// (k values per shard — trivial traffic) in shard-index order and
+	// pick the arg-min with the same smallest-h tie-break as the device
+	// reduction. Shard order, not device order, keeps the result
+	// bit-identical whether or not shards were requeued.
+	total := ws.GridBuf(k)
+	for jh := 0; jh < k; jh++ {
+		total = append(total, 0)
+	}
 	for _, p := range partial {
+		if p == nil {
+			continue
+		}
 		for jh, v := range p {
 			total[jh] += float64(v)
 		}
@@ -98,32 +259,50 @@ func SelectGPUMultiContext(ctx context.Context, x, y []float64, g bandwidth.Grid
 		total[jh] /= float64(n)
 	}
 	res := bandwidth.Best(g, total)
+	// total is pooled memory and Best aliases it into Scores: detach
+	// before the deferred Release hands the workspace back.
+	if opt.KeepScores {
+		res.Scores = append([]float64(nil), res.Scores...)
+	} else {
+		res.Scores = nil
+	}
+
 	maxSec := 0.0
 	for _, s := range secs {
 		if s > maxSec {
 			maxSec = s
 		}
 	}
-	out := MultiGPUResult{
+	degraded := 0
+	for i := 0; i < nd; i++ {
+		if h, err := m.DeviceHealth(i); err == nil && h.State != gpu.Healthy {
+			degraded++
+		}
+	}
+	return MultiGPUResult{
 		Result:        res,
-		Devices:       devices,
+		Devices:       numShards,
 		DeviceSeconds: secs,
 		ModelSeconds:  maxSec,
 		MemPeaks:      peaks,
+		Requeues:      requeues,
+		Degraded:      degraded,
+	}, nil
+}
+
+// runFleetShard opens a fresh context on fleet device di and runs one
+// shard's share of the pipeline on it.
+func runFleetShard(ctx context.Context, m gpu.Manager, di int, x, y []float64, g bandwidth.Grid, start, count int, opt GPUOptions) ([]float32, float64, int64, error) {
+	dev, err := m.Open(di)
+	if err != nil {
+		return nil, 0, 0, err
 	}
-	if !opt.KeepScores {
-		out.Result.Scores = nil
-	}
-	return out, nil
+	return runDeviceShare(ctx, dev, x, y, g, start, count, opt)
 }
 
 // runDeviceShare executes one device's share [start, start+count) of the
 // pipeline and returns its per-bandwidth partial residual sums.
-func runDeviceShare(ctx context.Context, x, y []float64, g bandwidth.Grid, start, count int, opt GPUOptions) ([]float32, float64, int64, error) {
-	dev, err := gpu.NewDevice(opt.Props, gpu.Functional)
-	if err != nil {
-		return nil, 0, 0, err
-	}
+func runDeviceShare(ctx context.Context, dev *gpu.Device, x, y []float64, g bandwidth.Grid, start, count int, opt GPUOptions) ([]float32, float64, int64, error) {
 	n := len(x)
 	k := g.Len()
 	bwSym, err := dev.UploadConstant("bandwidths", toF32(g.H))

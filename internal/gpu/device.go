@@ -60,6 +60,10 @@ type Device struct {
 	stats    DeviceStats
 	atomicMu sync.Mutex
 	inited   bool
+
+	// hooks, when non-nil, lets a fleet Manager observe operations and
+	// inject faults (see faults.go). Stand-alone devices leave it nil.
+	hooks deviceHooks
 }
 
 type bufferState struct {
@@ -151,6 +155,11 @@ func (d *Device) Malloc(elems int, label string) (Buffer, error) {
 	if elems <= 0 {
 		return Buffer{}, fmt.Errorf("gpu: Malloc needs a positive element count, got %d", elems)
 	}
+	if d.hooks != nil {
+		if err := d.hooks.preMalloc(int64(elems)*4, d.mem.info().Used); err != nil {
+			return Buffer{}, err
+		}
+	}
 	bytes := int64(elems) * 4
 	off, err := d.mem.alloc(bytes)
 	if err != nil {
@@ -169,6 +178,9 @@ func (d *Device) Malloc(elems int, label string) (Buffer, error) {
 
 // Free releases a buffer. Double frees return ErrInvalidBuffer.
 func (d *Device) Free(b Buffer) error {
+	if err := d.opCheck("free"); err != nil {
+		return err
+	}
 	st := d.lookup(b)
 	if st == nil {
 		return ErrInvalidBuffer
@@ -208,6 +220,9 @@ func (d *Device) data(b Buffer) ([]float32, error) {
 // CopyToDevice copies host values into the buffer (cudaMemcpyHostToDevice)
 // and charges PCIe transfer time.
 func (d *Device) CopyToDevice(b Buffer, host []float32) error {
+	if err := d.opCheck("memcpy H2D"); err != nil {
+		return err
+	}
 	st := d.lookup(b)
 	if st == nil {
 		return ErrInvalidBuffer
@@ -229,6 +244,9 @@ func (d *Device) CopyToDevice(b Buffer, host []float32) error {
 // DeviceToHost), charging PCIe time. In planning mode the destination is
 // left untouched but time is still charged, so cost plans stay complete.
 func (d *Device) CopyFromDevice(host []float32, b Buffer) error {
+	if err := d.opCheck("memcpy D2H"); err != nil {
+		return err
+	}
 	st := d.lookup(b)
 	if st == nil {
 		return ErrInvalidBuffer
@@ -249,6 +267,9 @@ func (d *Device) CopyFromDevice(host []float32, b Buffer) error {
 // Memset fills the buffer with a value (cudaMemset generalised to
 // float32), charging device-bandwidth time for the writes.
 func (d *Device) Memset(b Buffer, v float32) error {
+	if err := d.opCheck("memset"); err != nil {
+		return err
+	}
 	st := d.lookup(b)
 	if st == nil {
 		return ErrInvalidBuffer
@@ -268,6 +289,9 @@ func (d *Device) Memset(b Buffer, v float32) error {
 // dst must be at least as large as src; overlapping copies are not a
 // concern because buffers never alias.
 func (d *Device) CopyDeviceToDevice(dst, src Buffer) error {
+	if err := d.opCheck("memcpy D2D"); err != nil {
+		return err
+	}
 	sdst := d.lookup(dst)
 	ssrc := d.lookup(src)
 	if sdst == nil || ssrc == nil {
@@ -291,6 +315,9 @@ func (d *Device) CopyDeviceToDevice(dst, src Buffer) error {
 // bandwidth grid at 2,048 values. Re-uploading a name replaces its
 // contents if the size class still fits.
 func (d *Device) UploadConstant(name string, values []float32) (*ConstSymbol, error) {
+	if err := d.opCheck("const upload"); err != nil {
+		return nil, err
+	}
 	bytes := len(values) * 4
 	if bytes > d.props.ConstCacheBytes {
 		return nil, fmt.Errorf("%w: %q needs %d bytes, cache working set is %d (max %d float32 values)",

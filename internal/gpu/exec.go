@@ -67,6 +67,11 @@ func (d *Device) Launch(attrs KernelAttrs, cfg LaunchConfig, fn KernelFunc) (Tal
 	if d.mode != Functional {
 		return Tally{}, fmt.Errorf("gpu: Launch %q: %w", attrs.Name, ErrPlanningMode)
 	}
+	if d.hooks != nil {
+		if err := d.hooks.preLaunch(attrs.Name); err != nil {
+			return Tally{}, err
+		}
+	}
 	if err := d.checkLaunch(attrs, cfg); err != nil {
 		return Tally{}, err
 	}

@@ -1,0 +1,83 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Injectable fault classes. A real CUDA/NVML backend surfaces these as
+// XID events in dmesg, cudaErrorDevicesUnavailable on a device that
+// fell off the bus, and allocation failures under memory pressure; the
+// simulator reproduces the same failure surface so the fleet scheduler
+// and its chaos battery can be tested without hardware.
+var (
+	// ErrDeviceLost is the falls-off-the-bus state: once injected, every
+	// subsequent operation on the device fails with this error.
+	ErrDeviceLost = errors.New("device has fallen off the bus")
+	// ErrMemoryPressure is returned by Malloc when the device's occupancy
+	// plus the request exceeds an injected watermark — the simulator's
+	// analogue of a device shared with a neighbour that ate the VRAM.
+	ErrMemoryPressure = errors.New("allocation above the memory-pressure watermark")
+)
+
+// XIDError is an injected XID-style fault raised on a chosen kernel
+// launch, mirroring the NVML/dmesg XID reporting a real fleet manager
+// would collect.
+type XIDError struct {
+	Device int
+	XID    int
+	Kernel string
+}
+
+func (e *XIDError) Error() string {
+	return fmt.Sprintf("gpu: device %d reported XID %d during kernel %q", e.Device, e.XID, e.Kernel)
+}
+
+// DeviceError tags an operation-level failure with the fleet index it
+// happened on, so multi-device schedulers can attribute and requeue.
+type DeviceError struct {
+	Device int
+	Op     string
+	Err    error
+}
+
+func (e *DeviceError) Error() string {
+	return fmt.Sprintf("gpu: device %d: %s: %v", e.Device, e.Op, e.Err)
+}
+
+// Unwrap exposes the underlying fault for errors.Is/As.
+func (e *DeviceError) Unwrap() error { return e.Err }
+
+// IsDeviceFault reports whether err belongs to one of the injectable
+// device-fault classes (XID, falls-off-bus, memory pressure). These are
+// the errors a fleet scheduler may recover from by requeueing work on a
+// survivor; programming errors and genuine capacity OOMs are not device
+// faults and must propagate.
+func IsDeviceFault(err error) bool {
+	var xe *XIDError
+	return errors.As(err, &xe) || errors.Is(err, ErrDeviceLost) || errors.Is(err, ErrMemoryPressure)
+}
+
+// deviceHooks intercepts device operations so a fleet manager can
+// observe activity and inject faults. A nil hooks field (every device
+// created directly with NewDevice) keeps the stand-alone fast path
+// untouched.
+type deviceHooks interface {
+	// preLaunch runs before a kernel launch; returning an error aborts
+	// the launch without executing or charging anything.
+	preLaunch(kernel string) error
+	// preMalloc runs before an allocation with the requested and
+	// currently used byte counts of this device context.
+	preMalloc(reqBytes, usedBytes int64) error
+	// preOp runs before every other device operation (copies, frees,
+	// memsets, constant uploads).
+	preOp(op string) error
+}
+
+// opCheck applies the fault hook to a non-launch, non-malloc operation.
+func (d *Device) opCheck(op string) error {
+	if d.hooks == nil {
+		return nil
+	}
+	return d.hooks.preOp(op)
+}

@@ -1,0 +1,360 @@
+package gpu
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Manager abstracts a fleet of devices behind the navarch-style
+// enumeration/health interface: callers discover devices, poll their
+// health, collect asynchronous health events, and open per-job contexts
+// on a device. The simulator implements it with SimManager; the same
+// seam is where a real CUDA/NVML backend would plug in.
+type Manager interface {
+	// DeviceCount reports the number of devices in the fleet.
+	DeviceCount() int
+	// DeviceInfo describes one device. Fails on an out-of-range index.
+	DeviceInfo(index int) (DeviceInfo, error)
+	// DeviceHealth reports one device's current health state.
+	DeviceHealth(index int) (HealthInfo, error)
+	// CollectHealthEvents drains and returns the pending health events
+	// accumulated since the last call, oldest first.
+	CollectHealthEvents() []HealthEvent
+	// Open creates a fresh execution context on the device — the
+	// analogue of binding a CUDA context for one job. A lost device
+	// refuses to open.
+	Open(index int) (*Device, error)
+}
+
+// DeviceInfo is the static description of one fleet device.
+type DeviceInfo struct {
+	Index int
+	Name  string
+	UUID  string
+	Props Properties
+}
+
+// HealthState is a device's coarse health classification.
+type HealthState int
+
+const (
+	// Healthy devices accept work.
+	Healthy HealthState = iota
+	// Degraded devices reported a recoverable fault class (XID, memory
+	// pressure); schedulers stop assigning them new work.
+	Degraded
+	// Lost devices fell off the bus; every operation fails.
+	Lost
+)
+
+// String returns the state name used in health reports and JSON.
+func (s HealthState) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Lost:
+		return "lost"
+	default:
+		return fmt.Sprintf("gpu.HealthState(%d)", int(s))
+	}
+}
+
+// HealthInfo is one device's current health snapshot.
+type HealthInfo struct {
+	Index int
+	State HealthState
+	// LastXID is the most recent XID code observed, 0 if none.
+	LastXID int
+	// Launches counts kernel launches across every context opened on
+	// this device since the manager was created.
+	Launches int64
+	// Faults counts fault events observed on this device.
+	Faults int
+}
+
+// HealthEvent is one asynchronous health notification, the simulator's
+// analogue of an NVML/dmesg XID record.
+type HealthEvent struct {
+	Device  int
+	Kind    string // "xid", "fell-off-bus", "memory-pressure"
+	XID     int    // XID code for "xid" events, 0 otherwise
+	Message string
+	Seq     int64 // monotonic across the manager
+}
+
+// SimManager is a fleet of homogeneous simulated devices with
+// injectable faults. All methods are safe for concurrent use; injection
+// may race with running kernels by design — that is the chaos the fault
+// battery exercises.
+type SimManager struct {
+	props Properties
+
+	mu      sync.Mutex
+	devs    []*simDeviceState
+	pending []HealthEvent
+	seq     int64
+	total   int64 // cumulative event count (never drained)
+}
+
+// simDeviceState is the persistent per-index health and fault plan,
+// shared by every context opened on that device.
+type simDeviceState struct {
+	state    HealthState
+	lastXID  int
+	launches int64
+	faults   int
+
+	offBus       bool
+	xidArmed     bool
+	xidCode      int
+	xidOnLaunch  int64 // absolute launch count at which the XID fires
+	pressureOn   bool
+	watermark    int64
+	pressureSeen bool
+}
+
+// NewSimManager builds a fleet of `devices` simulated GPUs sharing the
+// given properties.
+func NewSimManager(devices int, props Properties) (*SimManager, error) {
+	if devices < 1 {
+		return nil, fmt.Errorf("gpu: a fleet needs at least 1 device, got %d", devices)
+	}
+	if err := props.Validate(); err != nil {
+		return nil, err
+	}
+	m := &SimManager{props: props, devs: make([]*simDeviceState, devices)}
+	for i := range m.devs {
+		m.devs[i] = &simDeviceState{}
+	}
+	return m, nil
+}
+
+// DeviceCount reports the fleet size.
+func (m *SimManager) DeviceCount() int { return len(m.devs) }
+
+// at resolves a device index; callers must hold m.mu (or be on a path
+// where the devs slice is immutable, which it is after construction).
+func (m *SimManager) at(index int) (*simDeviceState, error) {
+	if index < 0 || index >= len(m.devs) {
+		return nil, fmt.Errorf("gpu: no device %d in a %d-device fleet", index, len(m.devs))
+	}
+	return m.devs[index], nil
+}
+
+// DeviceInfo describes one device.
+func (m *SimManager) DeviceInfo(index int) (DeviceInfo, error) {
+	if _, err := m.at(index); err != nil {
+		return DeviceInfo{}, err
+	}
+	return DeviceInfo{
+		Index: index,
+		Name:  m.props.Name,
+		UUID:  fmt.Sprintf("GPU-SIM-%04d", index),
+		Props: m.props,
+	}, nil
+}
+
+// DeviceHealth reports one device's current health snapshot.
+func (m *SimManager) DeviceHealth(index int) (HealthInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.at(index)
+	if err != nil {
+		return HealthInfo{}, err
+	}
+	return HealthInfo{
+		Index:    index,
+		State:    st.state,
+		LastXID:  st.lastXID,
+		Launches: st.launches,
+		Faults:   st.faults,
+	}, nil
+}
+
+// CollectHealthEvents drains the pending event queue.
+func (m *SimManager) CollectHealthEvents() []HealthEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := m.pending
+	m.pending = nil
+	return out
+}
+
+// TotalHealthEvents reports the cumulative event count since the
+// manager was created, independent of CollectHealthEvents drains —
+// the monotonic counter /metrics exports.
+func (m *SimManager) TotalHealthEvents() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.total
+}
+
+// record appends a health event; callers must hold m.mu.
+func (m *SimManager) record(device int, kind string, xid int, msg string) {
+	m.seq++
+	m.total++
+	m.pending = append(m.pending, HealthEvent{
+		Device: device, Kind: kind, XID: xid, Message: msg, Seq: m.seq,
+	})
+}
+
+// Open creates a fresh execution context on the device. A device that
+// fell off the bus refuses with ErrDeviceLost.
+func (m *SimManager) Open(index int) (*Device, error) {
+	m.mu.Lock()
+	st, err := m.at(index)
+	if err != nil {
+		m.mu.Unlock()
+		return nil, err
+	}
+	if st.offBus {
+		m.mu.Unlock()
+		return nil, &DeviceError{Device: index, Op: "open", Err: ErrDeviceLost}
+	}
+	m.mu.Unlock()
+	d, err := NewDevice(m.props, Functional)
+	if err != nil {
+		return nil, err
+	}
+	d.hooks = &simHooks{m: m, index: index}
+	return d, nil
+}
+
+// InjectXID arms an XID-style fault on the device: the nth subsequent
+// kernel launch (1 = the very next) fails with an XIDError carrying
+// `code`, and the device is marked Degraded. The fault is one-shot;
+// re-injecting replaces an armed plan.
+func (m *SimManager) InjectXID(index, code int, onLaunch int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.at(index)
+	if err != nil {
+		return err
+	}
+	if onLaunch < 1 {
+		onLaunch = 1
+	}
+	st.xidArmed = true
+	st.xidCode = code
+	st.xidOnLaunch = st.launches + onLaunch
+	return nil
+}
+
+// InjectFallOffBus drops the device off the bus: every subsequent
+// operation (including Open) fails with ErrDeviceLost and the device is
+// marked Lost. Injecting twice is an error.
+func (m *SimManager) InjectFallOffBus(index int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.at(index)
+	if err != nil {
+		return err
+	}
+	if st.offBus {
+		return fmt.Errorf("gpu: device %d already fell off the bus", index)
+	}
+	st.offBus = true
+	st.state = Lost
+	st.faults++
+	m.record(index, "fell-off-bus", 0, "GPU has fallen off the bus")
+	return nil
+}
+
+// InjectMemPressure arms a memory-pressure fault: any Malloc that would
+// push the context's occupancy above watermarkBytes fails with
+// ErrMemoryPressure (a watermark of 0 fails every allocation). The
+// first trip marks the device Degraded and records a health event.
+func (m *SimManager) InjectMemPressure(index int, watermarkBytes int64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.at(index)
+	if err != nil {
+		return err
+	}
+	if watermarkBytes < 0 {
+		return fmt.Errorf("gpu: memory-pressure watermark must be non-negative, got %d", watermarkBytes)
+	}
+	st.pressureOn = true
+	st.watermark = watermarkBytes
+	st.pressureSeen = false
+	return nil
+}
+
+// ClearFaults disarms every injected fault on the device and restores
+// it to Healthy, so a long-running service can return a fleet to
+// service after a fault drill.
+func (m *SimManager) ClearFaults(index int) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, err := m.at(index)
+	if err != nil {
+		return err
+	}
+	st.offBus = false
+	st.xidArmed = false
+	st.pressureOn = false
+	st.pressureSeen = false
+	st.state = Healthy
+	return nil
+}
+
+// simHooks routes one opened context's operations through the shared
+// fleet state of its device index.
+type simHooks struct {
+	m     *SimManager
+	index int
+}
+
+func (h *simHooks) preLaunch(kernel string) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	st := h.m.devs[h.index]
+	if st.offBus {
+		return &DeviceError{Device: h.index, Op: "launch", Err: ErrDeviceLost}
+	}
+	st.launches++
+	if st.xidArmed && st.launches >= st.xidOnLaunch {
+		st.xidArmed = false
+		st.state = Degraded
+		st.lastXID = st.xidCode
+		st.faults++
+		h.m.record(h.index, "xid", st.xidCode,
+			fmt.Sprintf("XID %d during kernel %q", st.xidCode, kernel))
+		return &XIDError{Device: h.index, XID: st.xidCode, Kernel: kernel}
+	}
+	return nil
+}
+
+func (h *simHooks) preMalloc(reqBytes, usedBytes int64) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	st := h.m.devs[h.index]
+	if st.offBus {
+		return &DeviceError{Device: h.index, Op: "malloc", Err: ErrDeviceLost}
+	}
+	if st.pressureOn && usedBytes+reqBytes > st.watermark {
+		if !st.pressureSeen {
+			st.pressureSeen = true
+			if st.state == Healthy {
+				st.state = Degraded
+			}
+			st.faults++
+			h.m.record(h.index, "memory-pressure", 0,
+				fmt.Sprintf("allocation of %d bytes above watermark %d", reqBytes, st.watermark))
+		}
+		return &DeviceError{Device: h.index, Op: "malloc", Err: ErrMemoryPressure}
+	}
+	return nil
+}
+
+func (h *simHooks) preOp(op string) error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	st := h.m.devs[h.index]
+	if st.offBus {
+		return &DeviceError{Device: h.index, Op: op, Err: ErrDeviceLost}
+	}
+	return nil
+}

@@ -1,0 +1,358 @@
+package gpu
+
+import (
+	"errors"
+	"testing"
+)
+
+func newFleet(t *testing.T, devices int) *SimManager {
+	t.Helper()
+	m, err := NewSimManager(devices, TeslaS10())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestManagerErrorPaths pins the Manager API's failure surface with
+// exact error strings: out-of-range health queries, injection on an
+// unknown device, a double falls-off-bus, and Malloc under an injected
+// memory-pressure watermark.
+func TestManagerErrorPaths(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func(t *testing.T) error
+		want string
+	}{
+		{
+			name: "health out-of-range high",
+			run: func(t *testing.T) error {
+				_, err := newFleet(t, 2).DeviceHealth(2)
+				return err
+			},
+			want: "gpu: no device 2 in a 2-device fleet",
+		},
+		{
+			name: "health negative index",
+			run: func(t *testing.T) error {
+				_, err := newFleet(t, 3).DeviceHealth(-1)
+				return err
+			},
+			want: "gpu: no device -1 in a 3-device fleet",
+		},
+		{
+			name: "info out-of-range",
+			run: func(t *testing.T) error {
+				_, err := newFleet(t, 1).DeviceInfo(7)
+				return err
+			},
+			want: "gpu: no device 7 in a 1-device fleet",
+		},
+		{
+			name: "open out-of-range",
+			run: func(t *testing.T) error {
+				_, err := newFleet(t, 2).Open(5)
+				return err
+			},
+			want: "gpu: no device 5 in a 2-device fleet",
+		},
+		{
+			name: "inject xid on unknown device",
+			run: func(t *testing.T) error {
+				return newFleet(t, 2).InjectXID(9, 79, 1)
+			},
+			want: "gpu: no device 9 in a 2-device fleet",
+		},
+		{
+			name: "inject off-bus on unknown device",
+			run: func(t *testing.T) error {
+				return newFleet(t, 4).InjectFallOffBus(-2)
+			},
+			want: "gpu: no device -2 in a 4-device fleet",
+		},
+		{
+			name: "inject pressure on unknown device",
+			run: func(t *testing.T) error {
+				return newFleet(t, 2).InjectMemPressure(3, 1024)
+			},
+			want: "gpu: no device 3 in a 2-device fleet",
+		},
+		{
+			name: "double falls-off-bus",
+			run: func(t *testing.T) error {
+				m := newFleet(t, 2)
+				if err := m.InjectFallOffBus(1); err != nil {
+					t.Fatalf("first injection: %v", err)
+				}
+				return m.InjectFallOffBus(1)
+			},
+			want: "gpu: device 1 already fell off the bus",
+		},
+		{
+			name: "negative watermark",
+			run: func(t *testing.T) error {
+				return newFleet(t, 1).InjectMemPressure(0, -1)
+			},
+			want: "gpu: memory-pressure watermark must be non-negative, got -1",
+		},
+		{
+			name: "malloc under pressure",
+			run: func(t *testing.T) error {
+				m := newFleet(t, 2)
+				if err := m.InjectMemPressure(0, 0); err != nil {
+					t.Fatal(err)
+				}
+				dev, err := m.Open(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, err = dev.Malloc(16, "x")
+				return err
+			},
+			want: "gpu: device 0: malloc: allocation above the memory-pressure watermark",
+		},
+		{
+			name: "open a lost device",
+			run: func(t *testing.T) error {
+				m := newFleet(t, 2)
+				if err := m.InjectFallOffBus(0); err != nil {
+					t.Fatal(err)
+				}
+				_, err := m.Open(0)
+				return err
+			},
+			want: "gpu: device 0: open: device has fallen off the bus",
+		},
+		{
+			name: "launch on a lost device",
+			run: func(t *testing.T) error {
+				m := newFleet(t, 2)
+				dev, err := m.Open(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.InjectFallOffBus(1); err != nil {
+					t.Fatal(err)
+				}
+				_, err = dev.Launch(KernelAttrs{Name: "noop"}, LaunchConfig{GridDim: 1, BlockDim: 1}, func(*ThreadCtx) {})
+				return err
+			},
+			want: "gpu: device 1: launch: device has fallen off the bus",
+		},
+		{
+			name: "memcpy on a lost device",
+			run: func(t *testing.T) error {
+				m := newFleet(t, 2)
+				dev, err := m.Open(1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				buf, err := dev.Malloc(4, "x")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := m.InjectFallOffBus(1); err != nil {
+					t.Fatal(err)
+				}
+				return dev.CopyToDevice(buf, []float32{1, 2, 3, 4})
+			},
+			want: "gpu: device 1: memcpy H2D: device has fallen off the bus",
+		},
+		{
+			name: "empty fleet",
+			run: func(t *testing.T) error {
+				_, err := NewSimManager(0, TeslaS10())
+				return err
+			},
+			want: "gpu: a fleet needs at least 1 device, got 0",
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.run(t)
+			if err == nil {
+				t.Fatalf("want error %q, got nil", tc.want)
+			}
+			if err.Error() != tc.want {
+				t.Fatalf("error = %q, want %q", err.Error(), tc.want)
+			}
+		})
+	}
+}
+
+// TestManagerFaultClassification checks that the injected fault classes
+// are recognised by IsDeviceFault and carry the sentinel/typed errors,
+// while ordinary device errors do not masquerade as faults.
+func TestManagerFaultClassification(t *testing.T) {
+	m := newFleet(t, 2)
+	if err := m.InjectFallOffBus(0); err != nil {
+		t.Fatal(err)
+	}
+	_, err := m.Open(0)
+	if !errors.Is(err, ErrDeviceLost) {
+		t.Fatalf("open on lost device: errors.Is(ErrDeviceLost) false for %v", err)
+	}
+	if !IsDeviceFault(err) {
+		t.Fatalf("off-bus error not classified as a device fault: %v", err)
+	}
+	var de *DeviceError
+	if !errors.As(err, &de) || de.Device != 0 || de.Op != "open" {
+		t.Fatalf("off-bus error missing device attribution: %v", err)
+	}
+
+	if err := m.InjectMemPressure(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Open(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dev.Malloc(1, "x")
+	if !errors.Is(err, ErrMemoryPressure) || !IsDeviceFault(err) {
+		t.Fatalf("pressure malloc error misclassified: %v", err)
+	}
+
+	// A genuine capacity OOM is NOT a device fault — it must propagate.
+	big, err := NewDevice(TeslaS10(), Planning)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = big.Malloc(1<<31, "too big")
+	if err == nil {
+		t.Fatal("expected OOM")
+	}
+	if IsDeviceFault(err) {
+		t.Fatalf("capacity OOM misclassified as a device fault: %v", err)
+	}
+}
+
+// TestManagerXIDFiresOnChosenLaunch arms an XID on the 3rd launch and
+// checks the firing, the health transition, and the event stream.
+func TestManagerXIDFiresOnChosenLaunch(t *testing.T) {
+	m := newFleet(t, 2)
+	if err := m.InjectXID(0, 79, 3); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop := func(*ThreadCtx) {}
+	cfg := LaunchConfig{GridDim: 1, BlockDim: 1}
+	for i := 1; i <= 2; i++ {
+		if _, err := dev.Launch(KernelAttrs{Name: "warmup"}, cfg, noop); err != nil {
+			t.Fatalf("launch %d should succeed: %v", i, err)
+		}
+	}
+	_, err = dev.Launch(KernelAttrs{Name: "victim"}, cfg, noop)
+	var xe *XIDError
+	if !errors.As(err, &xe) {
+		t.Fatalf("launch 3 returned %v, want XIDError", err)
+	}
+	if xe.Device != 0 || xe.XID != 79 || xe.Kernel != "victim" {
+		t.Fatalf("XIDError fields = %+v", xe)
+	}
+	if !IsDeviceFault(err) {
+		t.Fatal("XID not classified as a device fault")
+	}
+
+	h, err := m.DeviceHealth(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != Degraded || h.LastXID != 79 || h.Launches != 3 || h.Faults != 1 {
+		t.Fatalf("health after XID = %+v", h)
+	}
+	if h.State.String() != "degraded" {
+		t.Fatalf("state string = %q", h.State)
+	}
+
+	evs := m.CollectHealthEvents()
+	if len(evs) != 1 || evs[0].Kind != "xid" || evs[0].XID != 79 || evs[0].Device != 0 {
+		t.Fatalf("events = %+v", evs)
+	}
+	if again := m.CollectHealthEvents(); len(again) != 0 {
+		t.Fatalf("second drain returned %d events", len(again))
+	}
+	if m.TotalHealthEvents() != 1 {
+		t.Fatalf("TotalHealthEvents = %d", m.TotalHealthEvents())
+	}
+
+	// One-shot: the 4th launch succeeds again (state stays degraded).
+	if _, err := dev.Launch(KernelAttrs{Name: "after"}, cfg, noop); err != nil {
+		t.Fatalf("post-XID launch: %v", err)
+	}
+
+	// ClearFaults restores the device to service.
+	if err := m.ClearFaults(0); err != nil {
+		t.Fatal(err)
+	}
+	h, _ = m.DeviceHealth(0)
+	if h.State != Healthy {
+		t.Fatalf("state after ClearFaults = %v", h.State)
+	}
+}
+
+// TestManagerPressureWatermark checks the watermark arithmetic: mallocs
+// below the mark succeed, the crossing one fails, and only the first
+// trip records an event.
+func TestManagerPressureWatermark(t *testing.T) {
+	m := newFleet(t, 1)
+	// 3 KB watermark: a 256-elem (1 KB after alignment) malloc fits
+	// twice, the third crosses.
+	if err := m.InjectMemPressure(0, 3*1024); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := m.Open(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := dev.Malloc(256, "ok"); err != nil {
+			t.Fatalf("malloc %d under watermark: %v", i, err)
+		}
+	}
+	if _, err := dev.Malloc(512, "crossing"); !errors.Is(err, ErrMemoryPressure) {
+		t.Fatalf("crossing malloc = %v, want ErrMemoryPressure", err)
+	}
+	if _, err := dev.Malloc(512, "again"); !errors.Is(err, ErrMemoryPressure) {
+		t.Fatalf("repeat malloc = %v, want ErrMemoryPressure", err)
+	}
+	if n := m.TotalHealthEvents(); n != 1 {
+		t.Fatalf("pressure recorded %d events, want 1 (first trip only)", n)
+	}
+	h, _ := m.DeviceHealth(0)
+	if h.State != Degraded {
+		t.Fatalf("state = %v, want degraded", h.State)
+	}
+}
+
+// TestManagerEnumeration covers the healthy-path enumeration surface.
+func TestManagerEnumeration(t *testing.T) {
+	m := newFleet(t, 3)
+	if m.DeviceCount() != 3 {
+		t.Fatalf("DeviceCount = %d", m.DeviceCount())
+	}
+	for i := 0; i < 3; i++ {
+		info, err := m.DeviceInfo(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Index != i || info.Name != TeslaS10().Name || info.UUID == "" {
+			t.Fatalf("info[%d] = %+v", i, info)
+		}
+		h, err := m.DeviceHealth(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h.State != Healthy || h.Faults != 0 || h.Launches != 0 {
+			t.Fatalf("fresh health[%d] = %+v", i, h)
+		}
+	}
+	if evs := m.CollectHealthEvents(); len(evs) != 0 {
+		t.Fatalf("fresh fleet has %d events", len(evs))
+	}
+	// Manager interface compliance.
+	var _ Manager = m
+}

@@ -15,10 +15,12 @@ import (
 
 // HTTP JSON API. Routes (Go 1.22 method patterns):
 //
-//	POST /v1/select      — bandwidth selection
-//	POST /v1/fit-predict — selection (or given h) + prediction at points
-//	GET  /healthz        — liveness; 503 while draining
-//	GET  /metrics        — counters and latency histograms as JSON
+//	POST /v1/select         — bandwidth selection
+//	POST /v1/fit-predict    — selection (or given h) + prediction at points
+//	GET  /healthz           — liveness; 503 while draining
+//	GET  /metrics           — counters and latency histograms as JSON
+//	GET  /v1/devices        — fleet device health (see fleet.go)
+//	POST /v1/devices/inject — fault injection, only with FaultInjection
 //
 // Error mapping: malformed or over-limit bodies → 400/413 before the
 // pool is involved; a full queue → 429; draining → 503; a request that
@@ -64,7 +66,12 @@ type SelectResponse struct {
 	Method    string     `json:"method"`
 	N         int        `json:"n"`
 	Scores    []*float64 `json:"scores,omitempty"`
-	ElapsedMs float64    `json:"elapsed_ms"`
+	// Requeues and Degraded report the fleet scheduler's self-healing
+	// bookkeeping for "method": "fleet"; both are omitted (zero) for the
+	// host-side methods and for healthy fleet runs.
+	Requeues  int     `json:"requeues,omitempty"`
+	Degraded  int     `json:"degraded_devices,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms"`
 }
 
 // FitPredictRequest is the body of POST /v1/fit-predict.
@@ -154,7 +161,19 @@ func decodeSelectRequest(body io.Reader, cfg Config) (*SelectRequest, []kernreg.
 		return nil, nil, herr
 	}
 	var opts []kernreg.Option
-	if req.Method != "" {
+	switch {
+	case req.Method == "fleet":
+		// "fleet" is served by the device fleet, not kernreg; it keeps
+		// the shared grid/score options but takes its own admission
+		// limit (every kernel thread is simulated on the host CPU) and
+		// supports only the device program's default kernel.
+		if len(req.X) > fleetMaxN {
+			return nil, nil, tooLarge("n=%d exceeds the fleet limit of %d observations", len(req.X), fleetMaxN)
+		}
+		if req.Kernel != "" && req.Kernel != "epanechnikov" {
+			return nil, nil, badRequest("method \"fleet\" supports only the epanechnikov kernel, got %q", req.Kernel)
+		}
+	case req.Method != "":
 		m, err := kernreg.ParseMethod(req.Method)
 		if err != nil {
 			return nil, nil, badRequest("unknown method %q", req.Method)
@@ -256,6 +275,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/fit-predict", s.handleFitPredict)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/devices", s.handleDevices)
+	if s.cfg.FaultInjection {
+		mux.HandleFunc("POST /v1/devices/inject", s.handleInject)
+	}
 	return mux
 }
 
@@ -308,6 +331,10 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	if herr != nil {
 		s.metrics.Rejected.Add(1)
 		http.Error(w, herr.msg, herr.status)
+		return
+	}
+	if req.Method == "fleet" {
+		s.handleFleetSelect(w, r, req)
 		return
 	}
 	start := time.Now()

@@ -27,12 +27,21 @@ type Metrics struct {
 	// Failures counts requests that reached a selector and errored,
 	// including timeouts.
 	Failures expvar.Int
+	// FleetSelections counts completed "method": "fleet" selections;
+	// FleetRequeues sums the shard requeues their self-healing runs
+	// performed (zero while the fleet is healthy).
+	FleetSelections expvar.Int
+	FleetRequeues   expvar.Int
 
 	// Latency histograms per method ("select", "fit-predict"), covering
 	// queue wait plus compute.
 	Latency map[string]*Histogram
 
 	queueDepth func() int
+	// fleetEvents reports the fleet's cumulative health-event count
+	// (gpu.SimManager.TotalHealthEvents — drains by /v1/devices do not
+	// reduce it).
+	fleetEvents func() int64
 }
 
 func newMetrics() *Metrics {
@@ -88,6 +97,19 @@ func (m *Metrics) WriteJSON(w io.Writer) error {
 		"hits":     hits,
 		"misses":   misses,
 		"releases": bandwidth.PoolReleases(),
+	}
+	// Fleet health: device_health_events counts every fault the fleet
+	// manager recorded since start; requeues counts shard reruns the
+	// self-healing scheduler performed. The chaos smoke test asserts
+	// both go positive after an injection under live traffic.
+	var events int64
+	if m.fleetEvents != nil {
+		events = m.fleetEvents()
+	}
+	out["fleet"] = map[string]any{
+		"selections":           m.FleetSelections.Value(),
+		"requeues":             m.FleetRequeues.Value(),
+		"device_health_events": events,
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -16,10 +16,13 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
+
+	"repro/internal/gpu"
 )
 
 // Config sizes the service.
@@ -41,6 +44,14 @@ type Config struct {
 	// MaxGrid caps the grid size per request; 0 means 2,048 (the
 	// simulated device's constant-memory limit).
 	MaxGrid int
+	// FleetDevices sizes the simulated multi-GPU fleet serving
+	// "method": "fleet" selections; 0 means 2 (the paper machine's two
+	// Tesla S10s).
+	FleetDevices int
+	// FaultInjection registers POST /v1/devices/inject, the debug hook
+	// the chaos smoke test uses to kill a device under live traffic.
+	// Off by default: injection is an operator weapon, not a client API.
+	FaultInjection bool
 }
 
 func (c Config) withDefaults() Config {
@@ -58,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxGrid <= 0 {
 		c.MaxGrid = 2048
+	}
+	if c.FleetDevices <= 0 {
+		c.FleetDevices = 2
 	}
 	return c
 }
@@ -86,6 +100,12 @@ type Server struct {
 	metrics *Metrics
 	mux     *http.ServeMux
 
+	// fleet is the shared simulated multi-GPU fleet behind "method":
+	// "fleet", GET /v1/devices, and the injection hook. SimManager is
+	// internally locked, so concurrent selections and health queries
+	// need no coordination here.
+	fleet *gpu.SimManager
+
 	// mu guards draining and orders submits against the close(jobs) in
 	// Drain: submitters hold the read lock across the draining check
 	// and the channel send, so a send can never race the close.
@@ -98,12 +118,21 @@ type Server struct {
 // New builds a Server and starts its worker pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	fleet, err := gpu.NewSimManager(cfg.FleetDevices, gpu.TeslaS10())
+	if err != nil {
+		// withDefaults guarantees FleetDevices ≥ 1 and the Tesla S10
+		// profile validates, so this is unreachable without a
+		// programming error.
+		panic(fmt.Sprintf("serve: building device fleet: %v", err))
+	}
 	s := &Server{
 		cfg:     cfg,
 		jobs:    make(chan *job, cfg.QueueDepth),
 		metrics: newMetrics(),
+		fleet:   fleet,
 	}
 	s.metrics.queueDepth = func() int { return len(s.jobs) }
+	s.metrics.fleetEvents = fleet.TotalHealthEvents
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
