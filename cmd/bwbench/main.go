@@ -14,6 +14,8 @@
 //	bwbench -twopointer -o BENCH_4.json
 //	bwbench -bagged            # bagged vs exact up to n = 1,000,000 (JSON)
 //	bwbench -bagged -o BENCH_6.json
+//	bwbench -mv                # multivariate mesh sweep vs naive (JSON)
+//	bwbench -mv -o BENCH_8.json
 //
 // Columns marked * are the GPU simulator's modelled device seconds;
 // columns marked ^ are extrapolated along the program's complexity curve
@@ -64,7 +66,9 @@ func run() error {
 		twoPtr  = flag.Bool("twopointer", false, "benchmark the two-pointer sweep against the sorted search and emit JSON")
 		bagged  = flag.Bool("bagged", false, "benchmark bagged selection up to n=1,000,000 against the exact sweep and emit JSON")
 		bagMaxN = flag.Int("bagged-maxn", 1_000_000, "largest n measured by -bagged (CI smoke runs cap this)")
-		outPath = flag.String("o", "", "output file for -twopointer/-bagged JSON (default stdout)")
+		mv      = flag.Bool("mv", false, "benchmark the multivariate mesh sweep against the naive per-cell search and emit JSON")
+		mvMaxN  = flag.Int("mv-maxn", 10_000, "largest n measured by -mv (CI smoke runs cap this)")
+		outPath = flag.String("o", "", "output file for -twopointer/-bagged/-mv JSON (default stdout)")
 	)
 	flag.Parse()
 	if *twoPtr {
@@ -72,6 +76,9 @@ func run() error {
 	}
 	if *bagged {
 		return runBagged(*seed, *outPath, *bagMaxN)
+	}
+	if *mv {
+		return runMV(*seed, *outPath, *mvMaxN)
 	}
 	if !*table1 && !*table2a && !*table2b && !*figure1 && !*verdict && !*future {
 		*all = true

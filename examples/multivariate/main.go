@@ -70,7 +70,10 @@ func main() {
 	}
 	fmt.Println("\n  size  loc    fitted    truth")
 	for _, pt := range [][2]float64{{0.2, 0.2}, {0.5, 0.5}, {0.8, 0.17}, {0.3, 0.83}} {
-		fit, ok := reg.Predict([]float64{pt[0], pt[1]})
+		fit, ok, err := reg.Predict([]float64{pt[0], pt[1]})
+		if err != nil {
+			log.Fatal(err)
+		}
 		if !ok {
 			fmt.Printf("  %.2f  %.2f   (no observations in range)\n", pt[0], pt[1])
 			continue

@@ -24,7 +24,10 @@ func newLoader(t *testing.T) *analysis.Loader {
 // every true positive must fire, every true negative must stay silent,
 // and every suppressed site must be silenced by its annotation.
 func TestAnalyzerTestdata(t *testing.T) {
-	for _, name := range []string{"compsum", "ctxpoll", "poolpair", "lockdefer", "narrowconv"} {
+	// compsummv masquerades as repro/internal/mvreg to pin the PR 8
+	// scope regression (mvreg missing from compsumScope) in addition to
+	// the per-analyzer shape batteries.
+	for _, name := range []string{"compsum", "compsummv", "ctxpoll", "poolpair", "lockdefer", "narrowconv"} {
 		name := name
 		t.Run(name, func(t *testing.T) {
 			t.Parallel()

@@ -37,11 +37,16 @@ var Compsum = &analysis.Analyzer{
 
 // compsumScope lists the packages whose sweep loops carry numerical
 // invariants; everything else (harness, serve, tooling) is exempt.
+// mvreg's omission here was a real false negative (PR 8): the whole
+// multivariate package — plain `num +=`/`den +=`/`total +=` sums
+// included — sailed past the analyzer because scope, not shape, decided
+// the verdict. The compsummv testdata package pins it in scope.
 var compsumScope = []string{
 	"repro/internal/bandwidth",
 	"repro/internal/core",
 	"repro/internal/gpu",
 	"repro/internal/cuda",
+	"repro/internal/mvreg",
 }
 
 func runCompsum(pass *analysis.Pass) {

@@ -20,6 +20,30 @@ func sweep(absd, yv, grid, scores []float64, yi float64) {
 	}
 }
 
+// nestedPerObservation is the multivariate-objective shape the scope bug
+// hid: the accumulators live in the *outer* (per-observation) loop body
+// and accumulate across the inner (per-neighbour) loop, so they drift
+// within one observation even though each observation starts fresh.
+func nestedPerObservation(x [][]float64, y []float64) float64 {
+	var total float64
+	for i := range x {
+		var num, den float64
+		for l := range x {
+			if l == i {
+				continue
+			}
+			w := 1 - (x[i][0]-x[l][0])*(x[i][0]-x[l][0])
+			num += y[l] * w // want `uncompensated float accumulation into num`
+			den += w        // want `uncompensated float accumulation into den`
+		}
+		if den > 0 {
+			r := y[i] - num/den
+			total += r * r // want `uncompensated float accumulation into total`
+		}
+	}
+	return total / float64(len(x))
+}
+
 // sweepUncompensated is a deliberate plain-arithmetic ablation, exempt
 // by naming convention.
 func sweepUncompensated(xs []float64) float64 {

@@ -1,0 +1,76 @@
+//kernvet:path repro/internal/mvreg
+
+// Package compsummv pins the compsum *scope* regression from PR 8: the
+// analyzer's package list omitted repro/internal/mvreg, so every plain
+// loop-carried float sum in the multivariate selection paths — shapes
+// the analyzer catches perfectly well elsewhere — produced zero
+// findings. This package masquerades as mvreg via the //kernvet:path
+// directive; if mvreg ever drops out of compsumScope again, the want
+// expectations below go unmatched and the testdata battery fails.
+package compsummv
+
+// predictShape mirrors mvreg's Nadaraya–Watson accumulation.
+func predictShape(y, w []float64) float64 {
+	var num, den float64
+	for l := range y {
+		num += y[l] * w[l] // want `uncompensated float accumulation into num`
+		den += w[l]        // want `uncompensated float accumulation into den`
+	}
+	if den <= 0 {
+		return 0
+	}
+	return num / den
+}
+
+// cvShape mirrors mvreg's leave-one-out objective: per-observation
+// accumulators drifting across the inner neighbour loop, and a total
+// drifting across observations.
+func cvShape(x [][]float64, y []float64) float64 {
+	var total float64
+	for i := range x {
+		var num, den float64
+		for l := range x {
+			if l == i {
+				continue
+			}
+			w := 1 - (x[i][0]-x[l][0])*(x[i][0]-x[l][0])
+			num += y[l] * w // want `uncompensated float accumulation into num`
+			den += w        // want `uncompensated float accumulation into den`
+		}
+		if den > 0 {
+			r := y[i] - num/den
+			total += r * r // want `uncompensated float accumulation into total`
+		}
+	}
+	return total / float64(len(x))
+}
+
+// sweepPrefixShape mirrors the per-dimension sweep's prefix sums.
+func sweepPrefixShape(absd, wy, grid, scores []float64, yi float64) {
+	var sy, sw float64
+	ptr := 0
+	for q, h := range grid {
+		for ptr < len(absd) && absd[ptr] <= h {
+			sy += wy[ptr] // want `uncompensated float accumulation into sy`
+			sw += 1       // want `uncompensated float accumulation into sw`
+			ptr++
+		}
+		if sw > 0 {
+			r := yi - sy/sw
+			scores[q] += r * r // per-element write via the loop index: clean
+		}
+	}
+}
+
+// oracleShape shows the sanctioned escape: a justified suppression for a
+// reference oracle whose plain arithmetic is pinned by differential
+// tests, exactly how mvreg.CVScore is annotated in production.
+//
+//kernvet:ignore compsum -- testdata: mirrors the annotated mv oracle
+func oracleShape(y []float64) float64 {
+	var s float64
+	for _, v := range y {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,129 @@
+package mvreg
+
+import (
+	"context"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"repro/internal/kernel"
+	"repro/internal/mathx"
+)
+
+// FuzzMVSweepVsNaive differentially fuzzes the fast-sum-updating mesh
+// sweep against the per-cell naive odometer over d ∈ {1, 2, 3}. The two
+// paths evaluate the identical objective — one incrementally from
+// weighted prefix sums, one from first principles — so any divergence
+// beyond float re-association noise is a sweep bug.
+//
+// As in bandwidth's FuzzCompensatedSweep, the decoder puts X on a
+// 1/1024 lattice and bounds Y so the Epanechnikov boundary cancellation
+// (Σw̃ − Σw̃d²/h²) stays well-conditioned; within that domain the paths
+// must agree to 1e-6 relative.
+
+// fuzzMVDecode maps raw bytes onto a bounded lattice sample with
+// d ∈ {1, 2, 3} dimensions: 2 bytes per coordinate plus 2 per response.
+func fuzzMVDecode(data []byte, dByte uint8, max int) Sample {
+	d := 1 + int(dByte)%3
+	stride := 2 * (d + 1)
+	n := len(data) / stride
+	if n > max {
+		n = max
+	}
+	s := Sample{}
+	for i := 0; i < n; i++ {
+		row := make([]float64, d)
+		for j := 0; j < d; j++ {
+			xb := binary.LittleEndian.Uint16(data[i*stride+2*j:])
+			row[j] = float64(xb%4096) / 1024
+		}
+		yb := int16(binary.LittleEndian.Uint16(data[i*stride+2*d:]))
+		s.X = append(s.X, row)
+		s.Y = append(s.Y, float64(yb)/256)
+	}
+	return s
+}
+
+// fuzzMVSeed builds a seed payload for a d-dimensional sample.
+func fuzzMVSeed(s Sample) []byte {
+	var out []byte
+	var b [2]byte
+	for i, row := range s.X {
+		for _, v := range row {
+			binary.LittleEndian.PutUint16(b[:], uint16(math.Abs(v)*1024)%4096)
+			out = append(out, b[:]...)
+		}
+		binary.LittleEndian.PutUint16(b[:], uint16(int16(s.Y[i]*256)))
+		out = append(out, b[:]...)
+	}
+	return out
+}
+
+func FuzzMVSweepVsNaive(f *testing.F) {
+	f.Add(fuzzMVSeed(bivariateSample(24, 101)), uint8(1), uint8(4))
+	f.Add(fuzzMVSeed(trivariateSample(18, 102)), uint8(2), uint8(3))
+	uni := Sample{}
+	for i := 0; i < 20; i++ {
+		v := float64(i) / 8
+		uni.X = append(uni.X, []float64{v})
+		uni.Y = append(uni.Y, math.Sin(2*v))
+	}
+	f.Add(fuzzMVSeed(uni), uint8(0), uint8(6))
+	dup := Sample{
+		X: [][]float64{{0.5, 0.5}, {0.5, 0.5}, {1, 2}, {2, 1}, {0.5, 0.5}},
+		Y: []float64{1, -1, 2, -2, 0},
+	}
+	f.Add(fuzzMVSeed(dup), uint8(1), uint8(2))
+
+	f.Fuzz(func(t *testing.T, data []byte, dByte, kByte uint8) {
+		s := fuzzMVDecode(data, dByte, 40)
+		if err := s.Validate(); err != nil {
+			t.Skip("degenerate sample")
+		}
+		k := 1 + int(kByte)%6
+		grids, err := DefaultGrids(s, k)
+		if err != nil {
+			t.Skip("degenerate domain")
+		}
+		ctx := context.Background()
+
+		fast, err := meshSweep(ctx, s, grids)
+		if err != nil {
+			t.Fatalf("fast sweep: %v", err)
+		}
+		naive, err := meshNaive(ctx, s, grids, kernel.Epanechnikov)
+		if err != nil {
+			t.Fatalf("naive odometer: %v", err)
+		}
+
+		const tol = 1e-6
+		if fast.Evals != naive.Evals {
+			t.Fatalf("evals: fast %d vs naive %d", fast.Evals, naive.Evals)
+		}
+		if mathx.IsFinite(naive.CV) != mathx.IsFinite(fast.CV) {
+			t.Fatalf("CV finiteness differs: naive %g vs fast %g", naive.CV, fast.CV)
+		}
+		if mathx.IsFinite(naive.CV) && mathx.RelDiff(naive.CV, fast.CV) > tol {
+			t.Fatalf("CV: naive %g vs fast %g, reldiff %g (n=%d d=%d k=%d)",
+				naive.CV, fast.CV, mathx.RelDiff(naive.CV, fast.CV), len(s.X), s.Dim(), k)
+		}
+		for j := range fast.H {
+			if fast.H[j] != naive.H[j] {
+				// Acceptable only when the oracle itself cannot separate
+				// the two cells (exact or near tie).
+				a := CVScore(s, naive.H, kernel.Epanechnikov)
+				b := CVScore(s, fast.H, kernel.Epanechnikov)
+				if mathx.RelDiff(a, b) > tol {
+					t.Fatalf("arg-min %v differs from naive %v and is no near-tie (%g vs %g)",
+						fast.H, naive.H, b, a)
+				}
+				break
+			}
+		}
+		// Self-consistency: the reported CV is the oracle at the reported H.
+		if cv := CVScore(s, fast.H, kernel.Epanechnikov); mathx.IsFinite(cv) &&
+			mathx.RelDiff(cv, fast.CV) > tol {
+			t.Fatalf("fast CV %g inconsistent with oracle %g at H=%v", fast.CV, cv, fast.H)
+		}
+	})
+}

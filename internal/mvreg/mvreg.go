@@ -10,21 +10,28 @@
 // Two searches are provided:
 //
 //   - MeshSearch evaluates CV on the full Cartesian product of per-
-//     dimension grids (exact over the mesh, cost O(Πk_d · n² · d)).
+//     dimension grids. For the product Epanechnikov kernel it runs the
+//     fast-sum-updating sweep (see sweep.go): dimension 0 is swept
+//     incrementally over one co-sorted axis order, so a k₀-point axis
+//     costs one weighted merge instead of k₀ full passes. Other kernels
+//     fall back to the naive per-cell objective.
 //   - CoordinateDescent cycles through dimensions, re-optimising one
 //     bandwidth at a time; each one-dimensional pass reuses the paper's
 //     sorted incremental sweep, generalised to carry the other
-//     dimensions' kernel weights as observation weights — so a full pass
-//     costs O(d · n (n log n + k)) instead of O(d · k · n²).
+//     dimensions' kernel weights as observation weights.
+//
+// Both have ...Context variants that poll cancellation at sweep
+// granularity.
 package mvreg
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/kernel"
-	"repro/internal/sortx"
+	"repro/internal/mathx"
 	"repro/internal/stats"
 )
 
@@ -111,26 +118,40 @@ func (m *Model) weight(x0 []float64, l int) float64 {
 }
 
 // Predict returns the product-kernel Nadaraya–Watson estimate at x0; ok
-// is false when no observation carries weight.
-func (m *Model) Predict(x0 []float64) (float64, bool) {
+// is false when no observation carries weight there. A query whose
+// dimensionality disagrees with the model's is bad user input, not a
+// programming error, so it returns an ErrDimension-wrapped error rather
+// than panicking.
+func (m *Model) Predict(x0 []float64) (float64, bool, error) {
 	if len(x0) != m.Sample.Dim() {
-		panic(fmt.Sprintf("mvreg: Predict with %d coordinates on a %d-dimensional model", len(x0), m.Sample.Dim()))
+		return math.NaN(), false, fmt.Errorf("%w: Predict with %d coordinates on a %d-dimensional model", ErrDimension, len(x0), m.Sample.Dim())
 	}
-	var num, den float64
+	var num, den mathx.NeumaierAccumulator
 	for l := range m.Sample.X {
 		w := m.weight(x0, l)
-		num += m.Sample.Y[l] * w
-		den += w
+		num.Add(m.Sample.Y[l] * w)
+		den.Add(w)
 	}
-	if den <= 0 {
-		return math.NaN(), false
+	if den.Sum() <= 0 {
+		return math.NaN(), false, nil
 	}
-	return num / den, true
+	return num.Sum() / den.Sum(), true, nil
 }
 
 // CVScore computes the leave-one-out cross-validation objective at the
 // bandwidth vector h — the direct multivariate analogue of the paper's
 // eq. 1 — in O(n²·d).
+//
+// Masking policy (identical to the univariate bandwidth.CVScore):
+// observations whose leave-one-out denominator is zero are excluded via
+// the paper's M(X_i) indicator, and the residual sum is still divided by
+// the full n, exactly as in the paper. At sub-spacing bandwidths every
+// observation is masked and the objective is exactly 0, so searches
+// resolve the resulting ties deterministically to the lowest-index cell
+// — the same degenerate contract the conformance battery pins for all
+// univariate selectors.
+//
+//kernvet:ignore compsum -- the multivariate conformance oracle: the fast mesh sweep and the public selectors are differentially tested against these exact plain sums, so they must not change
 func CVScore(s Sample, h []float64, k kernel.Kind) float64 {
 	for _, v := range h {
 		if !(v > 0) {
@@ -204,31 +225,72 @@ func DefaultGrids(s Sample, k int) ([][]float64, error) {
 // MaxMeshCells bounds the Cartesian product MeshSearch will enumerate.
 const MaxMeshCells = 1 << 20
 
-// MeshSearch evaluates CV over the full Cartesian product of the per-
-// dimension grids and returns the best bandwidth vector. Exact over the
-// mesh; cost grows as Πk_d, so it refuses meshes above MaxMeshCells.
-func MeshSearch(s Sample, grids [][]float64, k kernel.Kind) (Result, error) {
-	if err := s.Validate(); err != nil {
-		return Result{}, err
-	}
+// validateGrids applies the shared per-dimension grid contract: one grid
+// per dimension, each non-empty, strictly ascending and positive, with
+// the Cartesian product bounded by MaxMeshCells. Ascending order is what
+// lets the sweeps serve a whole axis from one set of prefix sums.
+func validateGrids(s Sample, grids [][]float64) error {
 	if len(grids) != s.Dim() {
-		return Result{}, fmt.Errorf("mvreg: %d grids for %d dimensions", len(grids), s.Dim())
+		return fmt.Errorf("mvreg: %d grids for %d dimensions", len(grids), s.Dim())
 	}
 	cells := 1
 	for j, g := range grids {
 		if len(g) == 0 {
-			return Result{}, fmt.Errorf("mvreg: empty grid for dimension %d", j)
+			return fmt.Errorf("mvreg: empty grid for dimension %d", j)
+		}
+		for q := 1; q < len(g); q++ {
+			if g[q] <= g[q-1] {
+				return fmt.Errorf("mvreg: grid %d must ascend", j)
+			}
+		}
+		if !(g[0] > 0) {
+			return fmt.Errorf("mvreg: grid %d has non-positive bandwidths", j)
 		}
 		if cells > MaxMeshCells/len(g) {
-			return Result{}, fmt.Errorf("mvreg: mesh exceeds %d cells", MaxMeshCells)
+			return fmt.Errorf("mvreg: mesh exceeds %d cells", MaxMeshCells)
 		}
 		cells *= len(g)
 	}
+	return nil
+}
+
+// MeshSearch evaluates CV over the full Cartesian product of the per-
+// dimension grids and returns the best bandwidth vector. Exact over the
+// mesh; cost grows as Πk_d, so it refuses meshes above MaxMeshCells.
+func MeshSearch(s Sample, grids [][]float64, k kernel.Kind) (Result, error) {
+	return MeshSearchContext(context.Background(), s, grids, k)
+}
+
+// MeshSearchContext is MeshSearch with cooperative cancellation, polled
+// at sweep granularity. For the product Epanechnikov kernel the mesh is
+// served by the fast-sum-updating sweep (see sweep.go); other kernels
+// evaluate the naive objective per cell. Both visit cells in the same
+// odometer order (dimension 0 fastest) with a strict first-minimum
+// comparison, so ties resolve to the lowest-index cell either way.
+func MeshSearchContext(ctx context.Context, s Sample, grids [][]float64, k kernel.Kind) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := validateGrids(s, grids); err != nil {
+		return Result{}, err
+	}
+	if k == kernel.Epanechnikov {
+		return meshSweep(ctx, s, grids)
+	}
+	return meshNaive(ctx, s, grids, k)
+}
+
+// meshNaive is the per-cell fallback for kernels without a prefix
+// decomposition. Every cell evaluates the full CVScore oracle.
+func meshNaive(ctx context.Context, s Sample, grids [][]float64, k kernel.Kind) (Result, error) {
 	d := s.Dim()
 	idx := make([]int, d)
 	h := make([]float64, d)
 	best := Result{CV: math.Inf(1)}
 	for {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		for j := range h {
 			h[j] = grids[j][idx[j]]
 		}
@@ -238,7 +300,7 @@ func MeshSearch(s Sample, grids [][]float64, k kernel.Kind) (Result, error) {
 			best.CV = cv
 			best.H = append(best.H[:0], h...)
 		}
-		// Odometer increment.
+		// Odometer increment, dimension 0 fastest.
 		j := 0
 		for ; j < d; j++ {
 			idx[j]++
@@ -257,36 +319,40 @@ func MeshSearch(s Sample, grids [][]float64, k kernel.Kind) (Result, error) {
 	return best, nil
 }
 
-// CoordinateDescent optimises one bandwidth at a time with the sorted
-// incremental sweep, holding the others fixed, cycling until a full pass
-// leaves the selection unchanged or maxSweeps passes have run. The start
-// point is the midpoint of each grid. Epanechnikov only (the sweep's
-// prefix decomposition is kernel-specific). The result is a coordinate-
-// wise optimum of the mesh: no single-coordinate move improves it.
+// CoordinateDescent optimises one bandwidth at a time with the weighted
+// fast-sum-updating sweep, holding the others fixed, cycling until a
+// full pass leaves the selection unchanged or maxSweeps passes have run.
+// The start point is the midpoint of each grid. Epanechnikov only (the
+// sweep's prefix decomposition is kernel-specific). The result is a
+// coordinate-wise optimum of the mesh: no single-coordinate move
+// improves it.
 func CoordinateDescent(s Sample, grids [][]float64, maxSweeps int) (Result, error) {
+	return CoordinateDescentContext(context.Background(), s, grids, maxSweeps)
+}
+
+// CoordinateDescentContext is CoordinateDescent with cooperative
+// cancellation, polled once per dimension pass and at sweep granularity
+// inside each pass.
+func CoordinateDescentContext(ctx context.Context, s Sample, grids [][]float64, maxSweeps int) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
-	if len(grids) != s.Dim() {
-		return Result{}, fmt.Errorf("mvreg: %d grids for %d dimensions", len(grids), s.Dim())
-	}
-	for j, g := range grids {
-		if len(g) == 0 {
-			return Result{}, fmt.Errorf("mvreg: empty grid for dimension %d", j)
-		}
-		for q := 1; q < len(g); q++ {
-			if g[q] <= g[q-1] {
-				return Result{}, fmt.Errorf("mvreg: grid %d must ascend", j)
-			}
-		}
-		if !(g[0] > 0) {
-			return Result{}, fmt.Errorf("mvreg: grid %d has non-positive bandwidths", j)
-		}
+	if err := validateGrids(s, grids); err != nil {
+		return Result{}, err
 	}
 	if maxSweeps <= 0 {
 		maxSweeps = 10
 	}
-	d := s.Dim()
+	n, d := len(s.X), s.Dim()
+	maxK := 0
+	for _, g := range grids {
+		if len(g) > maxK {
+			maxK = len(g)
+		}
+	}
+	ws := AcquireWorkspace(n, d, maxK)
+	defer ws.Release()
+	ws.buildAxisOrders(s)
 	idx := make([]int, d)
 	for j := range idx {
 		idx[j] = len(grids[j]) / 2
@@ -300,7 +366,10 @@ func CoordinateDescent(s Sample, grids [][]float64, maxSweeps int) (Result, erro
 			for q := range h {
 				h[q] = grids[q][idx[q]]
 			}
-			scores := sweepDimension(s, h, j, grids[j])
+			scores, err := ws.sweepDimension(ctx, s, h, j, grids[j])
+			if err != nil {
+				return Result{}, err
+			}
 			res.Evals += len(grids[j])
 			bestQ, bestCV := 0, math.Inf(1)
 			for q, cv := range scores {
@@ -323,92 +392,4 @@ func CoordinateDescent(s Sample, grids [][]float64, maxSweeps int) (Result, erro
 		res.H[j] = grids[j][idx[j]]
 	}
 	return res, nil
-}
-
-// sweepDimension computes CV for every candidate bandwidth of dimension
-// dim with the other bandwidths fixed at h, using the weighted
-// generalisation of the paper's sorted incremental sweep: with the other
-// dimensions' product weight w̃_l attached to each neighbour,
-//
-//	num(h_dim) = 0.75·(Σ ỹ − Σ ỹ·d²/h²),  ỹ_l = Y_l·w̃_l
-//	den(h_dim) = 0.75·(Σ w̃ − Σ w̃·d²/h²)
-//
-// over neighbours with |d| ≤ h_dim, so one sort per observation serves
-// the whole candidate grid.
-func sweepDimension(s Sample, h []float64, dim int, grid []float64) []float64 {
-	n := len(s.X)
-	k := len(grid)
-	scores := make([]float64, k)
-	absd := make([]float64, 0, n)
-	wy := make([]float64, 0, n)
-	ww := make([]float64, 0, n)
-	sortedD := make([]float64, 0, n)
-	sortedWY := make([]float64, 0, n)
-	sortedWW := make([]float64, 0, n)
-	for i := 0; i < n; i++ {
-		absd = absd[:0]
-		wy = wy[:0]
-		ww = ww[:0]
-		for l := 0; l < n; l++ {
-			if l == i {
-				continue
-			}
-			// Other-dimension product weight.
-			w := 1.0
-			for j := range h {
-				if j == dim {
-					continue
-				}
-				w *= kernel.Epanechnikov.Weight((s.X[i][j] - s.X[l][j]) / h[j])
-				if w == 0 {
-					break
-				}
-			}
-			if w == 0 {
-				continue // never contributes at any h_dim
-			}
-			dd := s.X[i][dim] - s.X[l][dim]
-			if dd < 0 {
-				dd = -dd
-			}
-			absd = append(absd, dd)
-			wy = append(wy, w*s.Y[l])
-			ww = append(ww, w)
-		}
-		// Co-sort three arrays by distance: argsort once, apply.
-		ordIdx := sortx.ArgSort64(absd)
-		sortedD = sortedD[:len(ordIdx)]
-		sortedWY = sortedWY[:len(ordIdx)]
-		sortedWW = sortedWW[:len(ordIdx)]
-		for p, q := range ordIdx {
-			sortedD[p] = absd[q]
-			sortedWY[p] = wy[q]
-			sortedWW[p] = ww[q]
-		}
-		var sy, syd2, sw, swd2 float64
-		ptr := 0
-		m := len(sortedD)
-		yi := s.Y[i]
-		for q, hc := range grid {
-			for ptr < m && sortedD[ptr] <= hc {
-				d2 := sortedD[ptr] * sortedD[ptr]
-				sy += sortedWY[ptr]
-				syd2 += sortedWY[ptr] * d2
-				sw += sortedWW[ptr]
-				swd2 += sortedWW[ptr] * d2
-				ptr++
-			}
-			h2 := hc * hc
-			den := 0.75 * (sw - swd2/h2)
-			if den > 0 {
-				num := 0.75 * (sy - syd2/h2)
-				r := yi - num/den
-				scores[q] += r * r
-			}
-		}
-	}
-	for q := range scores {
-		scores[q] /= float64(n)
-	}
-	return scores
 }

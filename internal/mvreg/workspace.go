@@ -1,0 +1,108 @@
+// Pooled sweep workspaces, mirroring internal/bandwidth's discipline:
+// the merge buffers, score slab and per-axis sorted orders for one
+// selection live in one Workspace recycled through a sync.Pool, so the
+// steady state of a serving process allocates nothing per request. The
+// poolpair analyzer enforces the pairing: every AcquireWorkspace must
+// Release on all paths.
+package mvreg
+
+import (
+	"sync"
+
+	"repro/internal/sortx"
+)
+
+// axisOrder is one dimension's co-sorted view of the sample.
+type axisOrder struct {
+	val []float64 // X[:,a] ascending
+	idx []int     // original observation index at each sorted position
+	pos []int     // pos[i] = sorted position of observation i
+}
+
+// Workspace holds every buffer the multivariate sweeps need.
+type Workspace struct {
+	// absd/wy/ww are one observation's merged in-range neighbours:
+	// axis distance, weighted response w̃·y, and weight w̃.
+	absd, wy, ww []float64
+	// scores accumulates per-candidate residual sums for one axis.
+	scores []float64
+	// axes caches the per-dimension sorted orders for one sample.
+	axes []axisOrder
+}
+
+var wsPool = sync.Pool{New: func() any { return new(Workspace) }}
+
+// AcquireWorkspace returns a workspace with capacity for n observations,
+// d dimensions and k candidates per axis, drawn from the pool. Pair it
+// with Release on every path.
+func AcquireWorkspace(n, d, k int) *Workspace {
+	ws := wsPool.Get().(*Workspace)
+	ws.absd = grow(ws.absd, n)
+	ws.wy = grow(ws.wy, n)
+	ws.ww = grow(ws.ww, n)
+	ws.scores = growLen(ws.scores, k)
+	if cap(ws.axes) < d {
+		ws.axes = make([]axisOrder, d)
+	}
+	ws.axes = ws.axes[:d]
+	for a := range ws.axes {
+		ws.axes[a].val = growLen(ws.axes[a].val, n)
+		ws.axes[a].pos = growLenInt(ws.axes[a].pos, n)
+	}
+	return ws
+}
+
+// Release returns the workspace to the pool. The buffers carry stale
+// data from the previous selection; every user rebuilds or zeroes what
+// it reads.
+func (ws *Workspace) Release() { wsPool.Put(ws) }
+
+// buildAxisOrder co-sorts axis a: sorted values, the permutation back to
+// original indices, and its inverse.
+func (ws *Workspace) buildAxisOrder(s Sample, a int) {
+	ax := &ws.axes[a]
+	for i := range s.X {
+		ax.val[i] = s.X[i][a]
+	}
+	ax.idx = sortx.ArgSort64(ax.val)
+	for p, i := range ax.idx {
+		ax.pos[i] = p
+	}
+	// Apply the permutation to the values via the scratch buffer.
+	scratch := ws.absd[:cap(ws.absd)][:len(ax.val)]
+	copy(scratch, ax.val)
+	for p, i := range ax.idx {
+		ax.val[p] = scratch[i]
+	}
+}
+
+// buildAxisOrders builds every dimension's sorted order (coordinate
+// descent sweeps each axis in turn; the mesh sweep needs only axis 0).
+func (ws *Workspace) buildAxisOrders(s Sample) {
+	for a := range ws.axes {
+		ws.buildAxisOrder(s, a)
+	}
+}
+
+// grow returns v with capacity at least n and length 0.
+func grow(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, 0, n)
+	}
+	return v[:0]
+}
+
+// growLen returns v with length (and capacity) at least n.
+func growLen(v []float64, n int) []float64 {
+	if cap(v) < n {
+		return make([]float64, n)
+	}
+	return v[:n]
+}
+
+func growLenInt(v []int, n int) []int {
+	if cap(v) < n {
+		return make([]int, n)
+	}
+	return v[:n]
+}

@@ -55,6 +55,12 @@ type SelectRequest struct {
 	Bags    *int   `json:"bags,omitempty"`
 	BagSize *int   `json:"bag_size,omitempty"`
 	Seed    *int64 `json:"seed,omitempty"`
+	// XMatrix and Mesh configure "method": "mv" — multivariate selection
+	// over the rows of x_matrix. Mesh=true searches the full Cartesian
+	// grid (grid_size candidates per dimension, default 20) with the
+	// fast-sum-updating sweep; false runs coordinate descent.
+	XMatrix [][]float64 `json:"x_matrix,omitempty"`
+	Mesh    bool        `json:"mesh,omitempty"`
 }
 
 // SelectResponse is the body of a successful /v1/select.
@@ -69,9 +75,15 @@ type SelectResponse struct {
 	// Requeues and Degraded report the fleet scheduler's self-healing
 	// bookkeeping for "method": "fleet"; both are omitted (zero) for the
 	// host-side methods and for healthy fleet runs.
-	Requeues  int     `json:"requeues,omitempty"`
-	Degraded  int     `json:"degraded_devices,omitempty"`
-	ElapsedMs float64 `json:"elapsed_ms"`
+	Requeues int `json:"requeues,omitempty"`
+	Degraded int `json:"degraded_devices,omitempty"`
+	// Bandwidths, Evals and Sweeps report a "method": "mv" selection (the
+	// scalar Bandwidth is 0 and Index is -1 there — no univariate grid
+	// exists).
+	Bandwidths []float64 `json:"bandwidths,omitempty"`
+	Evals      int       `json:"evals,omitempty"`
+	Sweeps     int       `json:"sweeps,omitempty"`
+	ElapsedMs  float64   `json:"elapsed_ms"`
 }
 
 // FitPredictRequest is the body of POST /v1/fit-predict.
@@ -156,6 +168,20 @@ func decodeSelectRequest(body io.Reader, cfg Config) (*SelectRequest, []kernreg.
 	var req SelectRequest
 	if herr := decodeJSON(body, &req); herr != nil {
 		return nil, nil, herr
+	}
+	if req.Method == "mv" {
+		// The multivariate method has its own sample shape (x_matrix) and
+		// admission limits; it shares none of the kernreg options.
+		if herr := checkMVSelect(&req, cfg); herr != nil {
+			return nil, nil, herr
+		}
+		return &req, nil, nil
+	}
+	if len(req.XMatrix) != 0 {
+		return nil, nil, badRequest("x_matrix requires \"method\": \"mv\", got %q", req.Method)
+	}
+	if req.Mesh {
+		return nil, nil, badRequest("mesh requires \"method\": \"mv\", got %q", req.Method)
 	}
 	if herr := checkSample(req.X, req.Y, cfg); herr != nil {
 		return nil, nil, herr
@@ -335,6 +361,10 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Method == "fleet" {
 		s.handleFleetSelect(w, r, req)
+		return
+	}
+	if req.Method == "mv" {
+		s.handleMVSelect(w, r, req)
 		return
 	}
 	start := time.Now()

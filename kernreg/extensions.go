@@ -171,10 +171,16 @@ type MVSelection struct {
 // SelectBandwidthMV selects a bandwidth vector for a multivariate kernel
 // regression of y on the rows of x by leave-one-out cross-validation with
 // a product Epanechnikov kernel. With mesh=true the full Cartesian grid
-// (k points per dimension) is searched exactly; otherwise coordinate
-// descent with the sorted incremental sweep is used, which scales to
-// higher dimensions. k ≤ 0 defaults to 20 per dimension.
+// (k points per dimension) is searched exactly by the fast-sum-updating
+// mesh sweep; otherwise coordinate descent over the same sweep is used,
+// which scales to higher dimensions. k ≤ 0 defaults to 20 per dimension.
 func SelectBandwidthMV(x [][]float64, y []float64, k int, mesh bool) (MVSelection, error) {
+	return SelectBandwidthMVContext(context.Background(), x, y, k, mesh)
+}
+
+// SelectBandwidthMVContext is SelectBandwidthMV with cooperative
+// cancellation, polled at sweep granularity inside the searches.
+func SelectBandwidthMVContext(ctx context.Context, x [][]float64, y []float64, k int, mesh bool) (MVSelection, error) {
 	s := mvreg.Sample{X: x, Y: y}
 	if k <= 0 {
 		k = 20
@@ -185,15 +191,20 @@ func SelectBandwidthMV(x [][]float64, y []float64, k int, mesh bool) (MVSelectio
 	}
 	var r mvreg.Result
 	if mesh {
-		r, err = mvreg.MeshSearch(s, grids, kernel.Epanechnikov)
+		r, err = mvreg.MeshSearchContext(ctx, s, grids, kernel.Epanechnikov)
 	} else {
-		r, err = mvreg.CoordinateDescent(s, grids, 0)
+		r, err = mvreg.CoordinateDescentContext(ctx, s, grids, 0)
 	}
 	if err != nil {
 		return MVSelection{}, err
 	}
 	return MVSelection{Bandwidths: r.H, CV: r.CV, Evals: r.Evals, Sweeps: r.Sweeps}, nil
 }
+
+// ErrDimension is returned (wrapped) by MVRegression.Predict when the
+// query point's coordinate count differs from the fitted model's
+// dimensionality. Test with errors.Is.
+var ErrDimension = mvreg.ErrDimension
 
 // MVRegression is a fitted multivariate kernel regression.
 type MVRegression struct {
@@ -211,8 +222,9 @@ func FitMV(x [][]float64, y []float64, h []float64) (*MVRegression, error) {
 }
 
 // Predict returns the estimate at the point x0; ok is false when no
-// observation carries weight there.
-func (r *MVRegression) Predict(x0 []float64) (float64, bool) { return r.m.Predict(x0) }
+// observation carries weight there. A query point whose dimensionality
+// disagrees with the model's returns an error.
+func (r *MVRegression) Predict(x0 []float64) (float64, bool, error) { return r.m.Predict(x0) }
 
 // Bandwidths returns the model's bandwidth vector.
 func (r *MVRegression) Bandwidths() []float64 {

@@ -1,6 +1,7 @@
 package kernreg
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -93,10 +94,16 @@ func TestFitMVPredict(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, ok := reg.Predict([]float64{0.5, 0.5})
+	got, ok, err := reg.Predict([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	want := 0.25 + 0.5
 	if !ok || math.Abs(got-want) > 0.12 {
 		t.Errorf("MV prediction = %v, want ≈ %v", got, want)
+	}
+	if _, _, err := reg.Predict([]float64{0.5}); !errors.Is(err, ErrDimension) {
+		t.Errorf("dimension mismatch = %v, want errors.Is(err, ErrDimension)", err)
 	}
 	hs := reg.Bandwidths()
 	hs[0] = 99
