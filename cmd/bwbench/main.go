@@ -16,6 +16,8 @@
 //	bwbench -bagged -o BENCH_6.json
 //	bwbench -mv                # multivariate mesh sweep vs naive (JSON)
 //	bwbench -mv -o BENCH_8.json
+//	bwbench -coord             # cluster coordinator: cache + sharding (JSON)
+//	bwbench -coord -o BENCH_9.json
 //
 // Columns marked * are the GPU simulator's modelled device seconds;
 // columns marked ^ are extrapolated along the program's complexity curve
@@ -68,7 +70,9 @@ func run() error {
 		bagMaxN = flag.Int("bagged-maxn", 1_000_000, "largest n measured by -bagged (CI smoke runs cap this)")
 		mv      = flag.Bool("mv", false, "benchmark the multivariate mesh sweep against the naive per-cell search and emit JSON")
 		mvMaxN  = flag.Int("mv-maxn", 10_000, "largest n measured by -mv (CI smoke runs cap this)")
-		outPath = flag.String("o", "", "output file for -twopointer/-bagged/-mv JSON (default stdout)")
+		coordB  = flag.Bool("coord", false, "benchmark the cluster coordinator's cache and modelled replica scaling and emit JSON")
+		coMaxN  = flag.Int("coord-maxn", 10_000, "largest n measured by -coord (CI smoke runs cap this)")
+		outPath = flag.String("o", "", "output file for -twopointer/-bagged/-mv/-coord JSON (default stdout)")
 	)
 	flag.Parse()
 	if *twoPtr {
@@ -79,6 +83,9 @@ func run() error {
 	}
 	if *mv {
 		return runMV(*seed, *outPath, *mvMaxN)
+	}
+	if *coordB {
+		return runCoord(*seed, *outPath, *coMaxN)
 	}
 	if !*table1 && !*table2a && !*table2b && !*figure1 && !*verdict && !*future {
 		*all = true

@@ -48,6 +48,7 @@ func run() int {
 		maxGrid      = flag.Int("max-grid", 0, "max grid points per request (0 = 2048)")
 		fleetDevices = flag.Int("fleet-devices", 0, "simulated GPUs serving \"method\": \"fleet\" (0 = 2)")
 		faultInject  = flag.Bool("enable-fault-injection", false, "register POST /v1/devices/inject (chaos testing only)")
+		label        = flag.String("label", "", "worker label echoed in /v1/load and shard responses (cluster deployments)")
 		debugAddr    = flag.String("debug-addr", "", "optional loopback address for net/http/pprof (e.g. 127.0.0.1:6060); empty disables")
 	)
 	flag.Parse()
@@ -79,6 +80,7 @@ func run() int {
 		MaxGrid:        *maxGrid,
 		FleetDevices:   *fleetDevices,
 		FaultInjection: *faultInject,
+		WorkerLabel:    *label,
 	})
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

@@ -70,6 +70,39 @@ func DefaultBagSize(n int) int {
 	return m
 }
 
+// Aggregation selects how the per-bag winning bandwidths are combined
+// into the reported selection.
+type Aggregation int
+
+const (
+	// AggregateMean reports the rescaled mean of the bag winners — the
+	// estimator of Barreiro-Ures et al. and the default.
+	AggregateMean Aggregation = iota
+	// AggregateMedian reports the rescaled median instead: robust to a
+	// bag that lands on a degenerate subsample and selects an outlier
+	// bandwidth, at slightly higher variance on clean data.
+	AggregateMedian
+)
+
+// String returns the aggregation name.
+func (a Aggregation) String() string {
+	if a == AggregateMedian {
+		return "median"
+	}
+	return "mean"
+}
+
+// ParseAggregation maps "mean"/"median" (and "" = mean) to the enum.
+func ParseAggregation(s string) (Aggregation, error) {
+	switch s {
+	case "", "mean":
+		return AggregateMean, nil
+	case "median":
+		return AggregateMedian, nil
+	}
+	return 0, fmt.Errorf("bandwidth: unknown aggregation %q (want \"mean\" or \"median\")", s)
+}
+
 // BaggedOptions configures BaggedGridSearch.
 type BaggedOptions struct {
 	// Bags is the number of subsamples r (0 = DefaultBags).
@@ -83,6 +116,10 @@ type BaggedOptions struct {
 	Workers int
 	// Stability selects the per-bag sweep's summation mode.
 	Stability Stability
+	// Aggregation selects which aggregate Result.H reports
+	// (default AggregateMean). Mean, Median and CVVar are populated
+	// either way.
+	Aggregation Aggregation
 }
 
 // BaggedResult is the outcome of a bagged selection. When m == n every
@@ -96,12 +133,18 @@ type BaggedOptions struct {
 type BaggedResult struct {
 	Result
 	// Mean and Median are the rescaled aggregates of the per-bag
-	// winners; Result.H equals Mean.
+	// winners; Result.H equals the one selected by
+	// BaggedOptions.Aggregation (Mean by default).
 	Mean, Median float64
 	// Factor is the (m/n)^(1/5) rescaling applied to the aggregates.
 	Factor float64
 	// Bags and BagSize are the effective r and m after defaulting.
 	Bags, BagSize int
+	// CVVar is the unbiased sample variance of the per-bag CV minima —
+	// the spread behind Result.CV's mean, for confidence reporting.
+	// Zero on the degenerate m == n path (one exact sweep, no spread)
+	// and with a single bag.
+	CVVar float64
 	// BagH lists the unscaled per-bag winning bandwidths, indexed by
 	// bag; nil on the degenerate m == n path.
 	BagH []float64
@@ -127,6 +170,9 @@ func BaggedGridSearchContext(ctx context.Context, x, y []float64, g Grid, k kern
 	}
 	if _, err := sweepFunc(k, opt.Stability); err != nil {
 		return BaggedResult{}, err
+	}
+	if opt.Aggregation != AggregateMean && opt.Aggregation != AggregateMedian {
+		return BaggedResult{}, fmt.Errorf("bandwidth: unknown aggregation %d", int(opt.Aggregation))
 	}
 	n := len(x)
 	r := opt.Bags
@@ -239,10 +285,27 @@ func BaggedGridSearchContext(ctx context.Context, x, y []float64, g Grid, k kern
 	if r%2 == 0 {
 		median = 0.5 * (sorted[r/2-1] + sorted[r/2])
 	}
+	meanCV := sumCV.Sum() / float64(r)
+	// Unbiased sample variance of the per-bag CV minima, two-pass with
+	// compensated accumulation: the minima are tightly clustered around
+	// their mean, exactly the cancellation regime Neumaier exists for.
+	var cvVar float64
+	if r > 1 {
+		var sumSq mathx.NeumaierAccumulator
+		for _, cv := range bagCV {
+			d := cv - meanCV
+			sumSq.Add(d * d)
+		}
+		cvVar = sumSq.Sum() / float64(r-1)
+	}
+	h := mean
+	if opt.Aggregation == AggregateMedian {
+		h = factor * median
+	}
 	return BaggedResult{
 		Result: Result{
-			H:     mean,
-			CV:    sumCV.Sum() / float64(r),
+			H:     h,
+			CV:    meanCV,
 			Index: -1,
 		},
 		Mean:    mean,
@@ -250,6 +313,7 @@ func BaggedGridSearchContext(ctx context.Context, x, y []float64, g Grid, k kern
 		Factor:  factor,
 		Bags:    r,
 		BagSize: m,
+		CVVar:   cvVar,
 		BagH:    bagH,
 	}, nil
 }

@@ -212,6 +212,15 @@ func MVSelectors() []MVSelector {
 			},
 		},
 		{
+			// mesh-parallel shards the mesh's columns across 3 goroutines;
+			// the Exact mesh policy plus the bit-identity test in
+			// internal/mvreg hold it to the sequential sweep's answer.
+			Name: "mesh-parallel", Mesh: true,
+			Run: func(ctx context.Context, s mvreg.Sample, grids [][]float64) (mvreg.Result, error) {
+				return mvreg.MeshSearchParallelContext(ctx, s, grids, kernel.Epanechnikov, 3)
+			},
+		},
+		{
 			Name: "mesh-naive-triangular", Mesh: false,
 			// The non-Epanechnikov mesh exercises the per-cell fallback;
 			// no Epanechnikov oracle applies, so it is checked for

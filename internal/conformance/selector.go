@@ -181,6 +181,16 @@ func Registry() []Selector {
 			},
 		},
 		{
+			// coord-sharded routes every dataset through a 3-replica
+			// in-process cluster (internal/coord): the grid is sharded by
+			// queue depth, shard winners merge with the lowest-index
+			// tie-break, and the Exact policy then proves the sharded
+			// answer equals the single-node one. See coord.go for why the
+			// shared cluster runs with its result cache disabled here.
+			Name: "coord-sharded", Class: Exact, Family: LocalConstant, MinN: 2,
+			Run: runCoordSharded,
+		},
+		{
 			Name: "kernreg-sorted", Class: Exact, Family: LocalConstant, MinN: 2, MinK: 2,
 			Run: runPublicAPI(kernreg.MethodSorted),
 		},

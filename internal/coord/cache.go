@@ -1,0 +1,100 @@
+package coord
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/kernreg"
+)
+
+// resultCache is an LRU over completed selections keyed by the
+// canonical fingerprint of (x, y, grid, method, options). Two requests
+// share an entry exactly when kernreg.FingerprintSelect says their
+// canonical forms are byte-identical — which, the fingerprint tests
+// show, means bit-identical inputs — so a cache hit can legally skip
+// the cluster entirely and replay the stored bits.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[kernreg.Fingerprint]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type cacheEntry struct {
+	key kernreg.Fingerprint
+	res Result
+}
+
+// newResultCache returns a cache holding up to capacity entries, or
+// nil (all lookups miss, stores are dropped) when capacity <= 0.
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[kernreg.Fingerprint]*list.Element, capacity),
+	}
+}
+
+// get returns a deep copy of the cached result: callers may hold the
+// Scores slice long after the entry is evicted or overwritten.
+func (c *resultCache) get(key kernreg.Fingerprint) (Result, bool) {
+	if c == nil {
+		return Result{}, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return Result{}, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return copyResult(el.Value.(*cacheEntry).res), true
+}
+
+// put stores a deep copy of res, evicting the least recently used
+// entry when full.
+func (c *resultCache) put(key kernreg.Fingerprint, res Result) {
+	if c == nil {
+		return
+	}
+	stored := copyResult(res)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = stored
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		back := c.order.Back()
+		delete(c.entries, back.Value.(*cacheEntry).key)
+		c.order.Remove(back)
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: stored})
+}
+
+// stats snapshots the counters and current entry count.
+func (c *resultCache) stats() (hits, misses, evictions int64, entries int) {
+	if c == nil {
+		return 0, 0, 0, 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, c.evictions, c.order.Len()
+}
+
+func copyResult(r Result) Result {
+	out := r
+	if r.Scores != nil {
+		out.Scores = append([]float64(nil), r.Scores...)
+	}
+	return out
+}

@@ -1,0 +1,231 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bandwidth"
+	"repro/internal/serve"
+)
+
+// The hedging battery runs under -race in CI: every assertion here is
+// about the coordinator's concurrency discipline — late duplicates
+// discarded, loser contexts cancelled, workspace pool balanced.
+
+// gateTransport serves /v1/shard only after the gate closes, and serves
+// it on a detached context — deliberately deaf to cancellation — so the
+// loser of a hedge race always produces a late duplicate result.
+type gateTransport struct {
+	inner http.Handler
+	gate  chan struct{}
+}
+
+func (g gateTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	detached := req.Clone(context.Background())
+	if req.URL.Path == "/v1/shard" {
+		<-g.gate
+	}
+	rec := &responseRecorder{header: make(http.Header)}
+	g.inner.ServeHTTP(rec, detached)
+	return &http.Response{
+		StatusCode: rec.code(),
+		Header:     rec.header,
+		Body:       io.NopCloser(bytes.NewReader(rec.buf.Bytes())),
+		Request:    req,
+	}, nil
+}
+
+func hedgeJob(t *testing.T) (Job, bandwidth.Result) {
+	t.Helper()
+	x, y := testData(120, 11)
+	g, err := bandwidth.DefaultGrid(x, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := Job{X: x, Y: y, Grid: g, Method: "twopointer", KeepScores: true}
+	return job, single(t, job)
+}
+
+// TestHedgeLateDuplicateDiscarded: worker 0 sits on the shard until
+// released, the hedge wins on worker 1, and when the stale worker-0
+// response finally lands it must be counted as hedge_late and change
+// nothing about the already-merged result.
+func TestHedgeLateDuplicateDiscarded(t *testing.T) {
+	gate := make(chan struct{})
+	slowSrv := serve.New(serve.Config{Workers: 2, WorkerLabel: "slow"})
+	fastSrv := serve.New(serve.Config{Workers: 2, WorkerLabel: "fast"})
+	slow := &Worker{Name: "slow", BaseURL: "http://slow", Client: &http.Client{
+		Transport: gateTransport{inner: slowSrv.Handler(), gate: gate},
+	}}
+	fast := InProcess("fast", fastSrv.Handler())
+	c, err := New(Config{
+		Workers:     []*Worker{slow, fast},
+		Shards:      1,
+		HedgeWarmup: -1,
+		HedgeMin:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, want := hedgeJob(t)
+	done := make(chan Result, 1)
+	go func() {
+		res, serr := c.Select(context.Background(), job)
+		if serr != nil {
+			t.Error(serr)
+		}
+		done <- res
+	}()
+	var res Result
+	select {
+	case res = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("hedged selection never completed")
+	}
+	if res.Hedged != 1 {
+		t.Fatalf("Hedged = %d, want 1", res.Hedged)
+	}
+	requireBitEqual(t, "hedge-winner", res, want, true)
+
+	// Release the straggler; its duplicate must be drained and counted,
+	// never merged.
+	close(gate)
+	deadline := time.After(10 * time.Second)
+	for c.metrics.HedgeLate.Value() != 1 {
+		select {
+		case <-deadline:
+			t.Fatalf("late duplicate never counted: hedge_late=%d", c.metrics.HedgeLate.Value())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	if got := c.metrics.Hedges.Value(); got != 1 {
+		t.Errorf("hedges launched = %d, want 1", got)
+	}
+}
+
+// TestHedgeCancelsLoser: the losing attempt's request context must be
+// cancelled once the winner returns — observed from inside the loser's
+// handler, which blocks until its own ctx fires.
+func TestHedgeCancelsLoser(t *testing.T) {
+	fastSrv := serve.New(serve.Config{Workers: 2})
+	cancelled := make(chan struct{})
+	var once sync.Once
+	slow := InProcess("slow", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard" {
+			<-r.Context().Done()
+			once.Do(func() { close(cancelled) })
+			http.Error(w, "client went away", 499)
+			return
+		}
+		fastSrv.Handler().ServeHTTP(w, r)
+	}))
+	fast := InProcess("fast", fastSrv.Handler())
+	c, err := New(Config{
+		Workers:     []*Worker{slow, fast},
+		Shards:      1,
+		HedgeWarmup: -1,
+		HedgeMin:    time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, want := hedgeJob(t)
+	res, err := c.Select(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireBitEqual(t, "cancel-loser", res, want, true)
+	select {
+	case <-cancelled:
+	case <-time.After(10 * time.Second):
+		t.Fatal("loser's context was never cancelled")
+	}
+}
+
+// TestHedgePoolBalanced: after a storm of hedged selections fully
+// quiesces, every workspace the replicas acquired must have been
+// released — cancelled losers included.
+func TestHedgePoolBalanced(t *testing.T) {
+	var handlers sync.WaitGroup
+	track := func(h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			handlers.Add(1)
+			defer handlers.Done()
+			h.ServeHTTP(w, r)
+		})
+	}
+	var workers []*Worker
+	for _, name := range []string{"a", "b", "c"} {
+		srv := serve.New(serve.Config{Workers: 2, WorkerLabel: name})
+		workers = append(workers, InProcess(name, track(srv.Handler())))
+	}
+	c, err := New(Config{
+		Workers:     workers,
+		Shards:      2,
+		HedgeWarmup: -1,
+		HedgeMin:    time.Microsecond, // hedge aggressively: maximum churn
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h0, m0 := bandwidth.PoolStats()
+	r0 := bandwidth.PoolReleases()
+	job, want := hedgeJob(t)
+	for i := 0; i < 20; i++ {
+		res, err := c.Select(context.Background(), job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireBitEqual(t, "storm", res, want, true)
+	}
+	handlers.Wait() // quiesce: cancelled losers finish unwinding too
+	h1, m1 := bandwidth.PoolStats()
+	r1 := bandwidth.PoolReleases()
+	acquired := (h1 + m1) - (h0 + m0)
+	released := r1 - r0
+	if acquired != released {
+		t.Fatalf("workspace pool unbalanced after quiesce: %d acquired, %d released", acquired, released)
+	}
+	if acquired == 0 {
+		t.Fatal("storm exercised the pool zero times; test is vacuous")
+	}
+}
+
+// TestFailoverOnWorkerDeath: a replica that 500s every shard must be
+// benched and its work retried elsewhere, transparently.
+func TestFailoverOnWorkerDeath(t *testing.T) {
+	liveSrv := serve.New(serve.Config{Workers: 2})
+	deadShard := InProcess("deadshard", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard" {
+			http.Error(w, "replica lost", http.StatusInternalServerError)
+			return
+		}
+		liveSrv.Handler().ServeHTTP(w, r) // /v1/load still answers: looks healthy
+	}))
+	live := InProcess("live", liveSrv.Handler())
+	c, err := New(Config{Workers: []*Worker{deadShard, live}, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, want := hedgeJob(t)
+	res, err := c.Select(context.Background(), job)
+	if err != nil {
+		t.Fatalf("failover select: %v", err)
+	}
+	requireBitEqual(t, "failover", res, want, true)
+	if c.metrics.Failovers.Value() == 0 {
+		t.Error("failover happened without incrementing the counter")
+	}
+	// The benched worker must be out of placement until the cooloff ends.
+	assigns := c.plan(context.Background(), 10)
+	for _, a := range assigns {
+		if a.workers[0] == 0 {
+			t.Error("cooling worker re-entered placement immediately")
+		}
+	}
+}

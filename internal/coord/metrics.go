@@ -1,0 +1,68 @@
+package coord
+
+import (
+	"encoding/json"
+	"expvar"
+	"io"
+
+	"repro/internal/serve"
+)
+
+// Metrics are the coordinator's counters. Like serve.Metrics they are
+// per-instance, never published to the global expvar registry (which
+// panics on duplicate names under the test battery).
+type Metrics struct {
+	// Requests counts Select calls that passed validation.
+	Requests expvar.Int
+	// Failures counts selections that returned an error after dispatch.
+	Failures expvar.Int
+	// Hedges counts hedge attempts launched; HedgeLate counts loser
+	// attempts that completed after a winner and were discarded.
+	Hedges    expvar.Int
+	HedgeLate expvar.Int
+	// Failovers counts retryable shard failures that benched a worker.
+	Failovers expvar.Int
+	// Latency holds the end-to-end "select" histogram (cache hits
+	// included — they are the point).
+	Latency map[string]*serve.Histogram
+
+	coord *Coordinator
+}
+
+func newCoordMetrics(c *Coordinator) *Metrics {
+	return &Metrics{
+		Latency: map[string]*serve.Histogram{"select": serve.NewHistogram()},
+		coord:   c,
+	}
+}
+
+// WriteJSON renders the metrics as one JSON object (the /metrics body).
+// The cache block carries the hit/miss/eviction counters the ISSUE's
+// acceptance gate reads.
+func (m *Metrics) WriteJSON(w io.Writer) error {
+	hits, misses, evictions, entries := m.coord.cache.stats()
+	out := map[string]any{
+		"requests": m.Requests.Value(),
+		"failures": m.Failures.Value(),
+		"cache": map[string]any{
+			"hits":      hits,
+			"misses":    misses,
+			"evictions": evictions,
+			"entries":   entries,
+		},
+		"hedge": map[string]any{
+			"launched":       m.Hedges.Value(),
+			"late_discarded": m.HedgeLate.Value(),
+		},
+		"failovers": m.Failovers.Value(),
+		"workers":   len(m.coord.cfg.Workers),
+	}
+	lat := map[string]json.RawMessage{}
+	for name, h := range m.Latency {
+		lat[name] = json.RawMessage(h.String())
+	}
+	out["latency"] = lat
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

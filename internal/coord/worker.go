@@ -1,0 +1,178 @@
+package coord
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/serve"
+)
+
+// Worker is one kernregd replica as seen by the coordinator. In
+// production it is an HTTP base URL; in tests, benchmarks and the
+// conformance battery it wraps an in-process serve.Server handler
+// behind the same http.Client interface, so the coordinator code path
+// is identical either way.
+type Worker struct {
+	// Name labels the worker in metrics and errors.
+	Name string
+	// BaseURL is the replica's root (e.g. "http://10.0.0.7:8080").
+	BaseURL string
+	// Client issues the requests; per-attempt contexts carry the
+	// deadlines, so the client itself has no global timeout.
+	Client *http.Client
+}
+
+// NewWorker builds a Worker for a remote replica.
+func NewWorker(name, baseURL string) *Worker {
+	return &Worker{Name: name, BaseURL: strings.TrimSuffix(baseURL, "/"), Client: &http.Client{}}
+}
+
+// InProcess builds a Worker that serves requests by calling h directly
+// on the requesting goroutine's behalf — no sockets, no ports — while
+// honouring request-context cancellation mid-handler. The multi-replica
+// batteries spawn three of these around independent serve.Servers.
+func InProcess(name string, h http.Handler) *Worker {
+	return &Worker{
+		Name:    name,
+		BaseURL: "http://" + name,
+		Client:  &http.Client{Transport: handlerTransport{h: h}},
+	}
+}
+
+// statusError is a non-200 worker response.
+type statusError struct {
+	status int
+	body   string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("worker returned %d: %s", e.status, strings.TrimSpace(e.body))
+}
+
+// retryable classifies an attempt failure: shed (429), draining (503),
+// other 5xx and transport errors are worth a different replica; any
+// other 4xx is the job's own data and will fail identically everywhere.
+func retryable(err error) bool {
+	var se *statusError
+	if errors.As(err, &se) {
+		return se.status == http.StatusTooManyRequests || se.status >= 500
+	}
+	return true
+}
+
+// Load fetches the replica's queue depth — the placement signal.
+func (w *Worker) Load(ctx context.Context) (serve.LoadResponse, error) {
+	var out serve.LoadResponse
+	err := w.get(ctx, "/v1/load", &out)
+	return out, err
+}
+
+// Shard runs one grid shard on the replica.
+func (w *Worker) Shard(ctx context.Context, req serve.ShardRequest) (serve.ShardResponse, error) {
+	var out serve.ShardResponse
+	err := w.post(ctx, "/v1/shard", req, &out)
+	return out, err
+}
+
+func (w *Worker) get(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, w.BaseURL+path, nil)
+	if err != nil {
+		return err
+	}
+	return w.do(hreq, out)
+}
+
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, w.BaseURL+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	return w.do(hreq, out)
+}
+
+func (w *Worker) do(hreq *http.Request, out any) error {
+	resp, err := w.Client.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	const maxBody = 64 << 20
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return &statusError{status: resp.StatusCode, body: string(body)}
+	}
+	return json.Unmarshal(body, out)
+}
+
+// handlerTransport adapts an http.Handler to http.RoundTripper. The
+// handler runs on its own goroutine; if the request context is
+// cancelled first (a hedge losing its race, a client going away), the
+// transport returns immediately with the context error while the
+// handler unwinds through its own ctx polling — the same shape as a
+// real connection teardown.
+type handlerTransport struct {
+	h http.Handler
+}
+
+func (t handlerTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rec := &responseRecorder{header: make(http.Header)}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t.h.ServeHTTP(rec, req)
+	}()
+	select {
+	case <-done:
+		return &http.Response{
+			StatusCode: rec.code(),
+			Header:     rec.header,
+			Body:       io.NopCloser(bytes.NewReader(rec.buf.Bytes())),
+			Request:    req,
+		}, nil
+	case <-req.Context().Done():
+		return nil, req.Context().Err()
+	}
+}
+
+// responseRecorder is a minimal ResponseWriter for handlerTransport.
+// (net/http/httptest's recorder would do, but this keeps test-only
+// packages out of the production import graph.)
+type responseRecorder struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func (r *responseRecorder) Header() http.Header { return r.header }
+
+func (r *responseRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+}
+
+func (r *responseRecorder) Write(p []byte) (int, error) {
+	r.WriteHeader(http.StatusOK)
+	return r.buf.Write(p)
+}
+
+func (r *responseRecorder) code() int {
+	if r.status == 0 {
+		return http.StatusOK
+	}
+	return r.status
+}

@@ -55,6 +55,9 @@ type SelectRequest struct {
 	Bags    *int   `json:"bags,omitempty"`
 	BagSize *int   `json:"bag_size,omitempty"`
 	Seed    *int64 `json:"seed,omitempty"`
+	// Aggregation selects how "method": "bagged" combines the per-bag
+	// winners: "mean" (default) or "median".
+	Aggregation string `json:"aggregation,omitempty"`
 	// XMatrix and Mesh configure "method": "mv" — multivariate selection
 	// over the rows of x_matrix. Mesh=true searches the full Cartesian
 	// grid (grid_size candidates per dimension, default 20) with the
@@ -67,16 +70,20 @@ type SelectRequest struct {
 type SelectResponse struct {
 	Bandwidth float64 `json:"bandwidth"`
 	// CV is null when the score is not finite (degenerate samples).
-	CV        *float64   `json:"cv"`
-	Index     int        `json:"index"`
-	Method    string     `json:"method"`
-	N         int        `json:"n"`
-	Scores    []*float64 `json:"scores,omitempty"`
+	CV     *float64   `json:"cv"`
+	Index  int        `json:"index"`
+	Method string     `json:"method"`
+	N      int        `json:"n"`
+	Scores []*float64 `json:"scores,omitempty"`
 	// Requeues and Degraded report the fleet scheduler's self-healing
 	// bookkeeping for "method": "fleet"; both are omitted (zero) for the
 	// host-side methods and for healthy fleet runs.
 	Requeues int `json:"requeues,omitempty"`
 	Degraded int `json:"degraded_devices,omitempty"`
+	// BagCVVariance reports the unbiased sample variance of the per-bag
+	// CV minima for "method": "bagged" (0 on the degenerate m == n
+	// path); omitted for every other method.
+	BagCVVariance *float64 `json:"bag_cv_variance,omitempty"`
 	// Bandwidths, Evals and Sweeps report a "method": "mv" selection (the
 	// scalar Bandwidth is 0 and Index is -1 there — no univariate grid
 	// exists).
@@ -232,6 +239,15 @@ func decodeSelectRequest(body io.Reader, cfg Config) (*SelectRequest, []kernreg.
 	if req.Stable != nil {
 		opts = append(opts, kernreg.Stable(*req.Stable))
 	}
+	if req.Aggregation != "" {
+		if req.Method != "bagged" {
+			return nil, nil, badRequest("aggregation requires \"method\": \"bagged\", got %q", req.Method)
+		}
+		if req.Aggregation != "mean" && req.Aggregation != "median" {
+			return nil, nil, badRequest("unknown aggregation %q (want \"mean\" or \"median\")", req.Aggregation)
+		}
+		opts = append(opts, kernreg.Aggregation(req.Aggregation))
+	}
 	if req.Bags != nil || req.BagSize != nil || req.Seed != nil {
 		if req.Method != "bagged" {
 			return nil, nil, badRequest("bags, bag_size and seed require \"method\": \"bagged\", got %q", req.Method)
@@ -298,6 +314,8 @@ func decodeFitPredictRequest(body io.Reader, cfg Config) (*FitPredictRequest, *h
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/select", s.handleSelect)
+	mux.HandleFunc("POST /v1/shard", s.handleShard)
+	mux.HandleFunc("GET /v1/load", s.handleLoad)
 	mux.HandleFunc("POST /v1/fit-predict", s.handleFitPredict)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -387,6 +405,9 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.KeepScores {
 		resp.Scores = finiteSlice(sel.Scores)
+	}
+	if req.Method == "bagged" {
+		resp.BagCVVariance = finitePtr(sel.BagCVVariance)
 	}
 	writeJSON(w, resp)
 }

@@ -48,6 +48,7 @@ func newMetrics() *Metrics {
 	return &Metrics{
 		Latency: map[string]*Histogram{
 			"select":      NewHistogram(),
+			"shard":       NewHistogram(),
 			"fit-predict": NewHistogram(),
 		},
 	}

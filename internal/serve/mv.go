@@ -55,6 +55,9 @@ func checkMVSelect(req *SelectRequest, cfg Config) *httpError {
 	if req.Bags != nil || req.BagSize != nil || req.Seed != nil {
 		return badRequest("bags, bag_size and seed require \"method\": \"bagged\", got %q", req.Method)
 	}
+	if req.Aggregation != "" {
+		return badRequest("aggregation requires \"method\": \"bagged\", got %q", req.Method)
+	}
 	n := len(req.XMatrix)
 	if n != len(req.Y) {
 		return badRequest("x_matrix has %d rows, y has %d", n, len(req.Y))

@@ -52,6 +52,10 @@ type Config struct {
 	// the chaos smoke test uses to kill a device under live traffic.
 	// Off by default: injection is an operator weapon, not a client API.
 	FaultInjection bool
+	// WorkerLabel names this replica in shard responses and GET
+	// /v1/load, so a coordinator's logs and metrics can attribute work
+	// to a specific worker. Empty is fine for single-node deployments.
+	WorkerLabel string
 }
 
 func (c Config) withDefaults() Config {

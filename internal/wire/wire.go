@@ -1,0 +1,71 @@
+// Package wire provides bit-faithful float64 encodings for the
+// coordinator shard protocol and the result-cache fingerprint.
+//
+// JSON cannot carry ±Inf or NaN, and round-tripping floats through
+// decimal text invites shortest-representation surprises at the exact
+// moment the cluster contract demands bit-identity (a sharded answer
+// must equal the single-node answer down to the last bit, degenerate
+// ±Inf CV scores included). So every float that crosses a process
+// boundary travels as its IEEE-754 bit pattern: slices as base64 of
+// the little-endian u64 stream, scalars as fixed-width hex.
+package wire
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// AppendFloat64LE appends v's IEEE-754 bits to dst, little-endian.
+func AppendFloat64LE(dst []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// EncodeFloat64s renders vs as standard base64 of the concatenated
+// little-endian bit patterns. Every value round-trips exactly,
+// including NaN payloads and ±Inf.
+func EncodeFloat64s(vs []float64) string {
+	buf := make([]byte, 0, 8*len(vs))
+	for _, v := range vs {
+		buf = AppendFloat64LE(buf, v)
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// DecodeFloat64s inverts EncodeFloat64s. The payload length must be a
+// multiple of eight bytes.
+func DecodeFloat64s(s string) ([]float64, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, fmt.Errorf("wire: invalid base64: %v", err)
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("wire: float64 payload of %d bytes is not a multiple of 8", len(buf))
+	}
+	out := make([]float64, len(buf)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return out, nil
+}
+
+// FormatBits renders one float64 as 16 lowercase hex digits of its bit
+// pattern — the scalar counterpart of EncodeFloat64s, used for the h
+// and cv fields of a shard response.
+func FormatBits(v float64) string {
+	return fmt.Sprintf("%016x", math.Float64bits(v))
+}
+
+// ParseBits inverts FormatBits.
+func ParseBits(s string) (float64, error) {
+	if len(s) != 16 {
+		return 0, fmt.Errorf("wire: bit pattern %q is not 16 hex digits", s)
+	}
+	u, err := strconv.ParseUint(s, 16, 64)
+	if err != nil {
+		return 0, fmt.Errorf("wire: invalid bit pattern %q: %v", s, err)
+	}
+	return math.Float64frombits(u), nil
+}

@@ -1,0 +1,72 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+// awkward covers every value class JSON would mangle: negative zero,
+// denormals, ±Inf, and NaNs with distinct payloads.
+var awkward = []float64{
+	0, math.Copysign(0, -1), 1, -1, 0.1, 1e300, 5e-324, -5e-324,
+	math.Inf(1), math.Inf(-1), math.NaN(),
+	math.Float64frombits(0x7ff0000000000001), // signalling-style NaN payload
+	math.Float64frombits(0xfff8000000000123),
+	math.MaxFloat64, -math.MaxFloat64,
+}
+
+func TestFloat64sRoundTrip(t *testing.T) {
+	got, err := DecodeFloat64s(EncodeFloat64s(awkward))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(got) != len(awkward) {
+		t.Fatalf("length %d, want %d", len(got), len(awkward))
+	}
+	for i, v := range awkward {
+		if math.Float64bits(got[i]) != math.Float64bits(v) {
+			t.Errorf("index %d: bits %016x, want %016x", i, math.Float64bits(got[i]), math.Float64bits(v))
+		}
+	}
+}
+
+func TestFloat64sEmpty(t *testing.T) {
+	got, err := DecodeFloat64s(EncodeFloat64s(nil))
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty round-trip: %v, %v", got, err)
+	}
+}
+
+func TestDecodeFloat64sRejects(t *testing.T) {
+	if _, err := DecodeFloat64s("not base64!!!"); err == nil {
+		t.Error("invalid base64 accepted")
+	}
+	// 4 bytes: valid base64, invalid payload length.
+	if _, err := DecodeFloat64s("AAAAAA=="); err == nil {
+		t.Error("non-multiple-of-8 payload accepted")
+	}
+}
+
+func TestBitsRoundTrip(t *testing.T) {
+	for _, v := range awkward {
+		s := FormatBits(v)
+		if len(s) != 16 {
+			t.Fatalf("FormatBits(%g) = %q, want 16 digits", v, s)
+		}
+		got, err := ParseBits(s)
+		if err != nil {
+			t.Fatalf("ParseBits(%q): %v", s, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(v) {
+			t.Errorf("round-trip of %g: bits %016x, want %016x", v, math.Float64bits(got), math.Float64bits(v))
+		}
+	}
+}
+
+func TestParseBitsRejects(t *testing.T) {
+	for _, s := range []string{"", "0", "00000000000000000", "zzzzzzzzzzzzzzzz", "0x00000000000000"} {
+		if _, err := ParseBits(s); err == nil {
+			t.Errorf("ParseBits(%q) accepted", s)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package kernreg
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+
+	"repro/internal/wire"
+)
+
+// Dataset-fingerprint keys for result caching. At cluster scale the
+// common case is repeated selection over the same (X, Y, grid, options)
+// tuple, so the coordinator caches results keyed by a canonical hash of
+// the job. Two requirements shape the serialization:
+//
+//   - injectivity: distinct jobs must serialize to distinct byte
+//     strings, so every variable-length field is length-prefixed and
+//     the field order is fixed — no concatenation ambiguity between X
+//     and Y, no method/kernel string bleeding into the data;
+//   - bit-sensitivity: floats are serialized as IEEE-754 bit patterns,
+//     so -0 and +0, or two NaN payloads, key differently — matching
+//     the bit-identity contract of the selectors themselves.
+//
+// The layout is versioned by the leading magic; any change to the
+// canonical form must bump it so stale cache entries can never alias a
+// new job shape.
+
+// fingerprintMagic versions the canonical serialization.
+const fingerprintMagic = "krfp1\x00"
+
+// Fingerprint is the SHA-256 of a selection job's canonical form.
+type Fingerprint [sha256.Size]byte
+
+// String renders the fingerprint as lowercase hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// AppendCanonicalSelect appends the canonical serialization of a
+// selection job to dst and returns the extended slice:
+//
+//	magic | flags | lp(method) | lp(kernel) | lpf(x) | lpf(y) | lpf(grid)
+//
+// where lp is a u64 little-endian byte-length prefix, lpf a u64
+// element-count prefix followed by each float64's little-endian bits,
+// and flags packs stable (bit 0) and keepScores (bit 1).
+func AppendCanonicalSelect(dst []byte, x, y, grid []float64, method Method, kernelName string, stable, keepScores bool) []byte {
+	dst = append(dst, fingerprintMagic...)
+	var flags byte
+	if stable {
+		flags |= 1
+	}
+	if keepScores {
+		flags |= 2
+	}
+	dst = append(dst, flags)
+	dst = appendLPString(dst, method.String())
+	dst = appendLPString(dst, kernelName)
+	dst = appendLPFloats(dst, x)
+	dst = appendLPFloats(dst, y)
+	return appendLPFloats(dst, grid)
+}
+
+// FingerprintSelect hashes the canonical serialization of a selection
+// job. Equal jobs produce byte-identical fingerprints on every
+// architecture and run; any difference in data bits, grid, method,
+// kernel or options produces a different canonical form.
+func FingerprintSelect(x, y, grid []float64, method Method, kernelName string, stable, keepScores bool) Fingerprint {
+	buf := make([]byte, 0, len(fingerprintMagic)+1+16+len(kernelName)+16+8*(len(x)+len(y)+len(grid))+24)
+	buf = AppendCanonicalSelect(buf, x, y, grid, method, kernelName, stable, keepScores)
+	return sha256.Sum256(buf)
+}
+
+func appendLPString(dst []byte, s string) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func appendLPFloats(dst []byte, vs []float64) []byte {
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(len(vs)))
+	for _, v := range vs {
+		dst = wire.AppendFloat64LE(dst, v)
+	}
+	return dst
+}

@@ -1,0 +1,146 @@
+package kernreg
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func fpBase() ([]float64, []float64, []float64) {
+	x := []float64{0.1, 0.35, 0.5, 0.62, 0.81, 0.93}
+	y := []float64{1.2, 0.7, 0.1, -0.2, -0.9, -1.3}
+	g := []float64{0.1, 0.2, 0.4, 0.8}
+	return x, y, g
+}
+
+func TestFingerprintDeterministic(t *testing.T) {
+	x, y, g := fpBase()
+	a := FingerprintSelect(x, y, g, MethodTwoPointer, "epanechnikov", true, false)
+	b := FingerprintSelect(x, y, g, MethodTwoPointer, "epanechnikov", true, false)
+	if a != b {
+		t.Fatalf("identical jobs fingerprint differently: %s vs %s", a, b)
+	}
+	// Byte-identical canonical forms, not just equal hashes.
+	ca := AppendCanonicalSelect(nil, x, y, g, MethodTwoPointer, "epanechnikov", true, false)
+	cb := AppendCanonicalSelect(nil, x, y, g, MethodTwoPointer, "epanechnikov", true, false)
+	if !bytes.Equal(ca, cb) {
+		t.Fatal("identical jobs serialize differently")
+	}
+}
+
+// TestFingerprintDistinguishes drives every field through a mutation and
+// requires a distinct key — the collision-resistance sanity battery: a
+// cache keyed by these fingerprints must never serve one job's result
+// for another.
+func TestFingerprintDistinguishes(t *testing.T) {
+	x, y, g := fpBase()
+	base := FingerprintSelect(x, y, g, MethodTwoPointer, "epanechnikov", true, false)
+
+	mutations := map[string]Fingerprint{}
+
+	// Permuted X (same multiset of values).
+	px := append([]float64(nil), x...)
+	px[0], px[1] = px[1], px[0]
+	mutations["permuted x"] = FingerprintSelect(px, y, g, MethodTwoPointer, "epanechnikov", true, false)
+
+	// Sign-flipped Y.
+	fy := make([]float64, len(y))
+	for i, v := range y {
+		fy[i] = -v
+	}
+	mutations["flipped y"] = FingerprintSelect(x, fy, g, MethodTwoPointer, "epanechnikov", true, false)
+
+	// One ULP in one X value.
+	ux := append([]float64(nil), x...)
+	ux[3] = math.Nextafter(ux[3], 2)
+	mutations["one-ulp x"] = FingerprintSelect(ux, y, g, MethodTwoPointer, "epanechnikov", true, false)
+
+	// Negative zero vs positive zero (bit-sensitivity).
+	zx := append([]float64(nil), x...)
+	zx[0] = 0
+	nx := append([]float64(nil), x...)
+	nx[0] = math.Copysign(0, -1)
+	if FingerprintSelect(zx, y, g, MethodTwoPointer, "epanechnikov", true, false) ==
+		FingerprintSelect(nx, y, g, MethodTwoPointer, "epanechnikov", true, false) {
+		t.Error("+0 and -0 in X key identically")
+	}
+
+	// Different grid, method, kernel, and each option flag.
+	g2 := append([]float64(nil), g...)
+	g2[len(g2)-1] *= 2
+	mutations["grid"] = FingerprintSelect(x, y, g2, MethodTwoPointer, "epanechnikov", true, false)
+	mutations["method"] = FingerprintSelect(x, y, g, MethodSorted, "epanechnikov", true, false)
+	mutations["kernel"] = FingerprintSelect(x, y, g, MethodTwoPointer, "uniform", true, false)
+	mutations["stable"] = FingerprintSelect(x, y, g, MethodTwoPointer, "epanechnikov", false, false)
+	mutations["keep-scores"] = FingerprintSelect(x, y, g, MethodTwoPointer, "epanechnikov", true, true)
+
+	// An element moved across the X/Y boundary: lengths shift but the
+	// concatenated float stream is identical, so only the length
+	// prefixes separate the jobs.
+	xs := append(append([]float64(nil), x...), y[0])
+	ys := append([]float64(nil), y[1:]...)
+	mutations["x/y boundary"] = FingerprintSelect(xs, ys, g, MethodTwoPointer, "epanechnikov", true, false)
+
+	seen := map[Fingerprint]string{base: "base"}
+	for name, fp := range mutations {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("%s collides with %s: %s", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+}
+
+// FuzzFingerprintCanonical feeds arbitrary job shapes through the
+// canonical serialization and checks the structural properties the
+// cache depends on: determinism, dst-append transparency, and that
+// flipping any single data bit changes the canonical form.
+func FuzzFingerprintCanonical(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{9, 10}, []byte{11}, byte(0), true, false)
+	f.Add([]byte{}, []byte{0xff, 0xfe}, []byte{}, byte(7), false, true)
+	f.Fuzz(func(t *testing.T, xb, yb, gb []byte, methodByte byte, stable, keepScores bool) {
+		x := bytesToFloats(xb)
+		y := bytesToFloats(yb)
+		g := bytesToFloats(gb)
+		method := Method(int(methodByte) % int(MethodBagged+1))
+
+		c1 := AppendCanonicalSelect(nil, x, y, g, method, "epanechnikov", stable, keepScores)
+		c2 := AppendCanonicalSelect(nil, x, y, g, method, "epanechnikov", stable, keepScores)
+		if !bytes.Equal(c1, c2) {
+			t.Fatal("canonical form is not deterministic")
+		}
+		if FingerprintSelect(x, y, g, method, "epanechnikov", stable, keepScores) !=
+			FingerprintSelect(x, y, g, method, "epanechnikov", stable, keepScores) {
+			t.Fatal("fingerprint is not deterministic")
+		}
+
+		// Appending to a non-empty dst must only prepend the prefix.
+		withPrefix := AppendCanonicalSelect([]byte("prefix"), x, y, g, method, "epanechnikov", stable, keepScores)
+		if !bytes.Equal(withPrefix, append([]byte("prefix"), c1...)) {
+			t.Fatal("AppendCanonicalSelect is not append-transparent")
+		}
+
+		// Any single-bit mutation of X must change the serialization.
+		if len(x) > 0 {
+			mx := append([]float64(nil), x...)
+			mx[0] = math.Float64frombits(math.Float64bits(mx[0]) ^ 1)
+			if bytes.Equal(c1, AppendCanonicalSelect(nil, mx, y, g, method, "epanechnikov", stable, keepScores)) {
+				t.Fatal("bit flip in X left the canonical form unchanged")
+			}
+		}
+	})
+}
+
+// bytesToFloats builds a float slice from fuzz bytes, eight bytes per
+// value (truncating the tail).
+func bytesToFloats(b []byte) []float64 {
+	out := make([]float64, 0, len(b)/8)
+	for len(b) >= 8 {
+		var u uint64
+		for i := 0; i < 8; i++ {
+			u = u<<8 | uint64(b[i])
+		}
+		out = append(out, math.Float64frombits(u))
+		b = b[8:]
+	}
+	return out
+}

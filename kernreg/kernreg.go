@@ -137,6 +137,8 @@ type config struct {
 	bagSize    int
 	seed       int64
 	seedSet    bool
+	agg        bandwidth.Aggregation
+	aggSet     bool
 	keepScores bool
 	stable     bool
 	pooled     bool
@@ -145,7 +147,7 @@ type config struct {
 // bagOptsSet reports whether any bagging option was supplied, for
 // rejecting them on non-bagged methods.
 func (c config) bagOptsSet() bool {
-	return c.bags != 0 || c.bagSize != 0 || c.seedSet
+	return c.bags != 0 || c.bagSize != 0 || c.seedSet || c.aggSet
 }
 
 // stability maps the stable flag to the host sweeps' summation mode.
@@ -265,6 +267,23 @@ func Seed(s int64) Option {
 	}
 }
 
+// Aggregation selects how MethodBagged combines the per-bag winning
+// bandwidths: "mean" (the default, the estimator of Barreiro-Ures et
+// al.) or "median" (robust to bags that subsample onto a degenerate
+// configuration and select an outlier bandwidth). On the degenerate
+// m == n path the two coincide — one exact sweep stands for every bag.
+func Aggregation(name string) Option {
+	return func(c *config) error {
+		a, err := bandwidth.ParseAggregation(name)
+		if err != nil {
+			return fmt.Errorf("kernreg: unknown aggregation %q (want \"mean\" or \"median\")", name)
+		}
+		c.agg = a
+		c.aggSet = true
+		return nil
+	}
+}
+
 // KeepScores retains the full CV score vector in the Selection.
 func KeepScores() Option {
 	return func(c *config) error { c.keepScores = true; return nil }
@@ -311,6 +330,11 @@ type Selection struct {
 	Scores []float64
 	// Method records which algorithm produced the selection.
 	Method Method
+	// BagCVVariance is the unbiased sample variance of the per-bag CV
+	// minima for MethodBagged — the spread behind CV's mean, for
+	// confidence reporting. Zero for every other method and on the
+	// degenerate m == n path.
+	BagCVVariance float64
 }
 
 // SelectBandwidth chooses the CV-optimal bandwidth for a Nadaraya–Watson
@@ -376,6 +400,7 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 		return Selection{}, err
 	}
 	var r bandwidth.Result
+	var bagCVVar float64
 	switch c.method {
 	case MethodSorted:
 		r, err = bandwidth.SortedGridSearchKernelStabilityContext(ctx, x, y, g, c.kern, c.stability())
@@ -424,16 +449,18 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 	case MethodBagged:
 		var br bandwidth.BaggedResult
 		br, err = bandwidth.BaggedGridSearchContext(ctx, x, y, g, c.kern, bandwidth.BaggedOptions{
-			Bags:      c.bags,
-			BagSize:   c.bagSize,
-			Seed:      uint64(c.seed),
-			Workers:   c.workers,
-			Stability: c.stability(),
+			Bags:        c.bags,
+			BagSize:     c.bagSize,
+			Seed:        uint64(c.seed),
+			Workers:     c.workers,
+			Stability:   c.stability(),
+			Aggregation: c.agg,
 		})
-		// Non-degenerate bags report Index -1: the rescaled mean is a
-		// continuum value, not a grid point. The degenerate m == n path
+		// Non-degenerate bags report Index -1: the rescaled aggregate is
+		// a continuum value, not a grid point. The degenerate m == n path
 		// carries the exact sweep's index and scores through unchanged.
 		r = br.Result
+		bagCVVar = br.CVVar
 	default:
 		return Selection{}, fmt.Errorf("kernreg: unsupported method %v", c.method)
 	}
@@ -441,11 +468,12 @@ func SelectBandwidthContext(ctx context.Context, x, y []float64, opts ...Option)
 		return Selection{}, err
 	}
 	sel := Selection{
-		Bandwidth: r.H,
-		CV:        r.CV,
-		Index:     r.Index,
-		Grid:      append([]float64(nil), g.H...),
-		Method:    c.method,
+		Bandwidth:     r.H,
+		CV:            r.CV,
+		Index:         r.Index,
+		Grid:          append([]float64(nil), g.H...),
+		Method:        c.method,
+		BagCVVariance: bagCVVar,
 	}
 	if c.keepScores {
 		sel.Scores = r.Scores
