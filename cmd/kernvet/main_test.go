@@ -1,38 +1,80 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"slices"
 	"strings"
 	"testing"
 )
 
-// capture runs the CLI with stdout and stderr redirected to temp files
-// and returns the exit code plus both outputs.
+// capture runs the CLI in-process and returns the exit code plus both
+// output streams.
 func capture(t *testing.T, args []string) (int, string, string) {
 	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+// chdir switches the process working directory for the duration of one
+// test; the CLI resolves patterns and the module root from the cwd.
+func chdir(t *testing.T, dir string) {
+	t.Helper()
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("getwd: %v", err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatalf("chdir %s: %v", dir, err)
+	}
+	t.Cleanup(func() {
+		if err := os.Chdir(old); err != nil {
+			t.Fatalf("restoring cwd: %v", err)
+		}
+	})
+}
+
+// writeFixtureModule lays out a throwaway module named repro (so the
+// analyzers' scope checks apply to it) with one clean package and one
+// package carrying a single deliberate errdiscipline violation. The
+// exit-code and SARIF tests run the CLI against it.
+func writeFixtureModule(t *testing.T) string {
+	t.Helper()
 	dir := t.TempDir()
-	mk := func(name string) *os.File {
-		f, err := os.Create(filepath.Join(dir, name))
-		if err != nil {
-			t.Fatalf("creating %s: %v", name, err)
+	write := func(rel, content string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("mkdir for %s: %v", rel, err)
 		}
-		return f
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", rel, err)
+		}
 	}
-	stdout, stderr := mk("stdout"), mk("stderr")
-	code := run(args, stdout, stderr)
-	read := func(f *os.File) string {
-		if err := f.Close(); err != nil {
-			t.Fatalf("closing capture file: %v", err)
-		}
-		b, err := os.ReadFile(f.Name())
-		if err != nil {
-			t.Fatalf("reading capture file: %v", err)
-		}
-		return string(b)
-	}
-	return code, read(stdout), read(stderr)
+	write("go.mod", "module repro\n\ngo 1.22\n")
+	write("clean/clean.go", `// Package clean holds nothing any kernvet analyzer objects to.
+package clean
+
+// Add returns a+b.
+func Add(a, b int) int { return a + b }
+`)
+	write("dirty/dirty.go", `// Package dirty carries one deliberate errdiscipline violation so the
+// CLI tests can observe exit status 1 produced by a real finding.
+package dirty
+
+import "errors"
+
+// ErrShed is a sentinel error.
+var ErrShed = errors.New("dirty: load shed")
+
+// Dropped compares the sentinel with == instead of errors.Is.
+func Dropped(err error) bool {
+	return err == ErrShed
+}
+`)
+	return dir
 }
 
 // TestJSONOutputParses is the bench-smoke guard's contract: -json must
@@ -52,21 +94,180 @@ func TestJSONOutputParses(t *testing.T) {
 	}
 }
 
+// TestListAnalyzers pins the -list contract: all nine analyzers plus
+// the staleignore pseudo-check, printed in sorted order with one name
+// per line.
 func TestListAnalyzers(t *testing.T) {
 	code, stdout, _ := capture(t, []string{"-list"})
 	if code != 0 {
 		t.Fatalf("-list exited %d", code)
 	}
-	for _, name := range []string{"compsum", "ctxpoll", "poolpair", "lockdefer", "narrowconv"} {
-		if !strings.Contains(stdout, name) {
-			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout)
+	var names []string
+	for _, line := range strings.Split(strings.TrimSpace(stdout), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
 		}
+		names = append(names, fields[0])
+	}
+	want := []string{
+		"atomicexpvar", "bitexact", "compsum", "ctxpoll", "errdiscipline",
+		"goleak", "lockdefer", "narrowconv", "poolpair", "staleignore",
+	}
+	if !slices.Equal(names, want) {
+		t.Errorf("-list printed %v, want %v", names, want)
+	}
+	if !slices.IsSorted(names) {
+		t.Errorf("-list output is not sorted: %v", names)
 	}
 }
 
-func TestUnknownCheckIsUsageError(t *testing.T) {
-	code, _, stderr := capture(t, []string{"-checks", "nonsense"})
-	if code != 2 {
-		t.Fatalf("-checks nonsense exited %d, want 2; stderr:\n%s", code, stderr)
+// TestExitCodeContract covers the CLI's documented exit statuses: 0
+// when clean, 1 when any finding is reported, 2 on usage or load
+// errors.
+func TestExitCodeContract(t *testing.T) {
+	fixture := writeFixtureModule(t)
+	chdir(t, fixture)
+	cases := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean package", []string{"./clean/..."}, 0},
+		{"clean package json", []string{"-json", "./clean/..."}, 0},
+		{"finding reported", []string{"./dirty/..."}, 1},
+		{"finding via -checks", []string{"-checks", "errdiscipline", "./dirty/..."}, 1},
+		{"finding excluded by -checks", []string{"-checks", "compsum", "./dirty/..."}, 0},
+		{"unknown check", []string{"-checks", "nonsense", "./clean/..."}, 2},
+		{"unknown flag", []string{"-frobnicate"}, 2},
+		{"pattern matches nothing", []string{"./no/such/dir/..."}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, stdout, stderr := capture(t, tc.args)
+			if code != tc.want {
+				t.Errorf("kernvet %v exited %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					tc.args, code, tc.want, stdout, stderr)
+			}
+		})
+	}
+}
+
+// sarifLog mirrors the slice of SARIF 2.1.0 the tests assert on.
+type sarifLog struct {
+	Version string `json:"version"`
+	Runs    []struct {
+		Tool struct {
+			Driver struct {
+				Name  string `json:"name"`
+				Rules []struct {
+					ID string `json:"id"`
+				} `json:"rules"`
+			} `json:"driver"`
+		} `json:"tool"`
+		Results []struct {
+			RuleID    string `json:"ruleId"`
+			Level     string `json:"level"`
+			Locations []struct {
+				PhysicalLocation struct {
+					ArtifactLocation struct {
+						URI string `json:"uri"`
+					} `json:"artifactLocation"`
+					Region struct {
+						StartLine int `json:"startLine"`
+					} `json:"region"`
+				} `json:"physicalLocation"`
+			} `json:"locations"`
+		} `json:"results"`
+	} `json:"runs"`
+}
+
+// TestSARIFStdout pins the -sarif - contract: SARIF owns stdout, the
+// log carries every rule (nine analyzers plus staleignore), and a
+// finding surfaces as a result with a module-relative URI. The exit
+// code still reflects the findings.
+func TestSARIFStdout(t *testing.T) {
+	fixture := writeFixtureModule(t)
+	chdir(t, fixture)
+	code, stdout, stderr := capture(t, []string{"-sarif", "-", "./dirty/..."})
+	if code != 1 {
+		t.Fatalf("-sarif - over a dirty package exited %d, want 1; stderr:\n%s", code, stderr)
+	}
+	var log sarifLog
+	if err := json.Unmarshal([]byte(stdout), &log); err != nil {
+		t.Fatalf("-sarif - output is not valid JSON: %v\noutput:\n%s", err, stdout)
+	}
+	if log.Version != "2.1.0" {
+		t.Errorf("SARIF version = %q, want 2.1.0", log.Version)
+	}
+	if len(log.Runs) != 1 {
+		t.Fatalf("SARIF log has %d runs, want 1", len(log.Runs))
+	}
+	run := log.Runs[0]
+	if run.Tool.Driver.Name != "kernvet" {
+		t.Errorf("driver name = %q, want kernvet", run.Tool.Driver.Name)
+	}
+	var ruleIDs []string
+	for _, r := range run.Tool.Driver.Rules {
+		ruleIDs = append(ruleIDs, r.ID)
+	}
+	for _, want := range []string{
+		"atomicexpvar", "bitexact", "compsum", "ctxpoll", "errdiscipline",
+		"goleak", "lockdefer", "narrowconv", "poolpair", "staleignore",
+	} {
+		if !slices.Contains(ruleIDs, want) {
+			t.Errorf("SARIF rule table missing %s: %v", want, ruleIDs)
+		}
+	}
+	if len(run.Results) != 1 {
+		t.Fatalf("SARIF log has %d results, want 1: %+v", len(run.Results), run.Results)
+	}
+	res := run.Results[0]
+	if res.RuleID != "errdiscipline" {
+		t.Errorf("result ruleId = %q, want errdiscipline", res.RuleID)
+	}
+	if len(res.Locations) != 1 {
+		t.Fatalf("result has %d locations, want 1", len(res.Locations))
+	}
+	loc := res.Locations[0].PhysicalLocation
+	if got := loc.ArtifactLocation.URI; got != "dirty/dirty.go" {
+		t.Errorf("result URI = %q, want module-relative dirty/dirty.go", got)
+	}
+	if loc.Region.StartLine <= 0 {
+		t.Errorf("result startLine = %d, want > 0", loc.Region.StartLine)
+	}
+}
+
+// TestSARIFFileAlongsideJSON pins that -sarif <file> composes with
+// -json: the JSON findings array still owns stdout while the SARIF log
+// lands in the named file, even when the run is clean.
+func TestSARIFFileAlongsideJSON(t *testing.T) {
+	fixture := writeFixtureModule(t)
+	chdir(t, fixture)
+	out := filepath.Join(t.TempDir(), "kernvet.sarif")
+	code, stdout, stderr := capture(t, []string{"-json", "-sarif", out, "./clean/..."})
+	if code != 0 {
+		t.Fatalf("clean run exited %d; stderr:\n%s", code, stderr)
+	}
+	var diags []map[string]any
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("stdout is not the -json array: %v\noutput:\n%s", err, stdout)
+	}
+	if len(diags) != 0 {
+		t.Errorf("clean run reported %d findings", len(diags))
+	}
+	b, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("SARIF file not written: %v", err)
+	}
+	var log sarifLog
+	if err := json.Unmarshal(b, &log); err != nil {
+		t.Fatalf("SARIF file is not valid JSON: %v", err)
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Errorf("SARIF file malformed: version %q, %d runs", log.Version, len(log.Runs))
+	}
+	if len(log.Runs) == 1 && len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean run's SARIF log carries %d results", len(log.Runs[0].Results))
 	}
 }

@@ -98,9 +98,28 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Check, d.Message)
 }
 
+// RunOptions tunes the diagnostic engine.
+type RunOptions struct {
+	// StaleIgnores emits a StaleCheck ("staleignore") finding for every
+	// //kernvet:ignore directive that suppressed nothing during the run.
+	// Enable it only when running the full analyzer suite: a directive
+	// naming a check that never ran cannot be judged, and "all"
+	// directives are judged unconditionally once this is on.
+	StaleIgnores bool
+}
+
 // Run applies every analyzer to every package, drops suppressed
 // findings, and returns the rest sorted by file, line, and column.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	return RunWithOptions(pkgs, analyzers, RunOptions{})
+}
+
+// RunWithOptions is Run with engine options.
+func RunWithOptions(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Diagnostic {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		sup := collectSuppressions(pkg)
@@ -114,6 +133,12 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				out = append(out, d)
 			}
 			a.Run(pass)
+		}
+		if opts.StaleIgnores {
+			// After every analyzer has had its chance at the package, any
+			// directive that never fired is itself a finding. These bypass
+			// suppression: an ignore cannot vouch for another ignore.
+			out = append(out, sup.stale(ran)...)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

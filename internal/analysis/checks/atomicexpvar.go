@@ -1,0 +1,193 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Atomicexpvar polices the metrics counters behind /metrics.
+//
+// Two invariants, both learned the hard way in concurrent counter
+// code:
+//
+//   - mixed atomicity: a variable or field that is ever written through
+//     sync/atomic (atomic.AddInt64(&x, 1), ...) must be accessed
+//     through sync/atomic everywhere — a plain load next to an atomic
+//     store is a data race that -race only catches when the timing
+//     cooperates;
+//   - expvar ownership: an expvar.Int/Float/String/Map field of a
+//     metrics struct may be mutated (Add/Set/Delete) only inside a
+//     method of the type that declares the field. Handlers bump
+//     counters through named helpers on the Metrics type, so every
+//     mutation site of a counter is enumerable from its owner — the
+//     property the /metrics rendering and its tests rely on.
+//
+// Reads are free in both cases: Value() and WriteJSON snapshots are
+// how the counters are consumed.
+var Atomicexpvar = &analysis.Analyzer{
+	Name: "atomicexpvar",
+	Doc:  "atomically-written counters have no plain accesses; expvar metric fields are mutated only by their owning type's helpers",
+	Run:  runAtomicexpvar,
+}
+
+func runAtomicexpvar(pass *analysis.Pass) {
+	if !inScope(pass, "repro") {
+		return
+	}
+	checkMixedAtomics(pass)
+	checkExpvarOwnership(pass)
+}
+
+// checkMixedAtomics flags plain accesses to objects that are elsewhere
+// passed by address into sync/atomic functions.
+func checkMixedAtomics(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	atomicObjs := make(map[types.Object]bool)
+	// atomicArgs tracks the &x expressions inside atomic calls so the
+	// second pass does not flag the atomic accesses themselves.
+	inAtomicCall := make(map[ast.Node]bool)
+	analysis.InspectStack(pass.Files(), func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			u, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || u.Op.String() != "&" {
+				continue
+			}
+			if obj := addressedObject(pass, u.X); obj != nil {
+				atomicObjs[obj] = true
+				inAtomicCall[u] = true
+			}
+		}
+		return true
+	})
+	if len(atomicObjs) == 0 {
+		return
+	}
+	analysis.InspectStack(pass.Files(), func(n ast.Node, stack []ast.Node) bool {
+		if inAtomicCall[n] {
+			return false // the atomic access itself
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.ObjectOf(id)
+		if obj == nil || !atomicObjs[obj] {
+			return true
+		}
+		// The declaration itself is not an access.
+		if info.Defs[id] != nil {
+			return true
+		}
+		// &x escapes (the atomic call path is already skipped); anything
+		// else — read, write, increment — races the atomic writers.
+		for i := len(stack) - 1; i >= 0; i-- {
+			if u, ok := stack[i].(*ast.UnaryExpr); ok && u.Op.String() == "&" && inAtomicCall[u] {
+				return true
+			}
+		}
+		pass.Reportf(id.Pos(),
+			"%s is accessed with sync/atomic elsewhere but plainly here; use atomic loads/stores for every access (or a typed atomic.Int64)", id.Name)
+		return true
+	})
+}
+
+// addressedObject resolves &x's operand to the variable or field object
+// being addressed.
+func addressedObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(x.Sel)
+	}
+	return nil
+}
+
+// expvarMutators are the expvar methods that change a counter.
+var expvarMutators = map[string]bool{"Add": true, "Set": true, "Delete": true, "Init": true, "AddFloat": true}
+
+// checkExpvarOwnership flags X.F.Add(...) where F is an expvar-typed
+// struct field and the call site is not a method of the struct type
+// that declares F.
+func checkExpvarOwnership(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	analysis.InspectStack(pass.Files(), func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		mSel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !expvarMutators[mSel.Sel.Name] {
+			return true
+		}
+		// The receiver of the mutator must itself be a field selection
+		// whose field has an expvar type.
+		fSel, ok := ast.Unparen(mSel.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := info.Selections[fSel]
+		if !ok || sel.Kind() != types.FieldVal {
+			return true
+		}
+		field, ok := sel.Obj().(*types.Var)
+		if !ok || !isExpvarType(field.Type()) {
+			return true
+		}
+		owner := namedOf(sel.Recv())
+		if owner == nil {
+			return true
+		}
+		if fd := enclosingMethodOf(pass, stack, owner); fd {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"expvar field %s.%s mutated outside its owning type's helpers; add (or use) a method on %s so counter mutations stay enumerable",
+			owner.Obj().Name(), field.Name(), owner.Obj().Name())
+		return true
+	})
+}
+
+// isExpvarType reports whether t (or *t) is a named type from package
+// expvar.
+func isExpvarType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	pkg := n.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "expvar"
+}
+
+// namedOf unwraps pointers to the named receiver type.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// enclosingMethodOf reports whether the innermost enclosing function is
+// a method on owner (pointer receivers included).
+func enclosingMethodOf(pass *analysis.Pass, stack []ast.Node, owner *types.Named) bool {
+	fd := analysis.EnclosingFunc(stack)
+	if fd == nil || fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	recv := namedOf(pass.TypeOf(fd.Recv.List[0].Type))
+	return recv != nil && recv.Obj() == owner.Obj()
+}

@@ -1,0 +1,218 @@
+package checks
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Bitexact enforces determinism inside code annotated as bit-exact.
+//
+// The repository's headline contract is that every selection path —
+// naive, fast-sum, sharded across replicas, requeued across a faulting
+// fleet — returns the same argmin down to the last float64 bit. The
+// code that upholds that contract (the coordinator merge, the wire
+// encode/decode pair, the fleet shard combine, bandwidth.Best) is
+// annotated with //kernvet:bitexact, either on the function's doc
+// comment or in the package doc (annotating every function of the
+// package). Inside annotated code the analyzer flags the four ways
+// nondeterminism has historically crept into merge paths:
+//
+//   - ranging over a map (iteration order is randomised per run);
+//   - collecting goroutine results in completion order (appending
+//     inside a channel-receive loop) instead of indexing by shard;
+//   - calling time.Now/Since/Until or math/rand, whose values must
+//     never influence a bit-exact result;
+//   - comparing floats with == or != where the repo contract is
+//     math.Float64bits equality (-0 vs +0 and NaN payloads matter to
+//     the fingerprint cache and the conformance battery).
+//
+// The annotation describes code, it does not change it: adding or
+// removing //kernvet:bitexact never alters behavior, only coverage.
+var Bitexact = &analysis.Analyzer{
+	Name: "bitexact",
+	Doc:  "code annotated //kernvet:bitexact must be deterministic: no map ranges, completion-order collection, wall-clock/rand influence, or float ==",
+	Run:  runBitexact,
+}
+
+// bitexactDirective marks a function (doc comment) or a whole package
+// (package doc) as bit-exact.
+const bitexactDirective = "//kernvet:bitexact"
+
+func hasBitexactDirective(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == bitexactDirective || strings.HasPrefix(c.Text, bitexactDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// bitexactFuncs returns the function declarations under the bitexact
+// contract: every function of a package whose package doc carries the
+// directive, plus each function whose own doc comment carries it.
+func bitexactFuncs(pass *analysis.Pass) []*ast.FuncDecl {
+	pkgWide := false
+	for _, f := range pass.Files() {
+		if hasBitexactDirective(f.Doc) {
+			pkgWide = true
+			break
+		}
+	}
+	var out []*ast.FuncDecl
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if pkgWide || hasBitexactDirective(fd.Doc) {
+				out = append(out, fd)
+			}
+		}
+	}
+	return out
+}
+
+func runBitexact(pass *analysis.Pass) {
+	info := pass.TypesInfo()
+	for _, fd := range bitexactFuncs(pass) {
+		name := fd.Name.Name
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(x.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(x.Pos(),
+							"%s ranges over a map inside bit-exact code; map iteration order is randomised — iterate a sorted key slice instead", name)
+					}
+				}
+				checkCompletionOrder(pass, name, x, x.Body)
+			case *ast.ForStmt:
+				checkCompletionOrder(pass, name, x, x.Body)
+			case *ast.BinaryExpr:
+				if x.Op.String() != "==" && x.Op.String() != "!=" {
+					return true
+				}
+				if _, lf := floatKind(pass.TypeOf(x.X)); lf {
+					if _, rf := floatKind(pass.TypeOf(x.Y)); rf {
+						pass.Reportf(x.Pos(),
+							"%s compares floats with %s inside bit-exact code; the repo contract is math.Float64bits equality (-0 and NaN payloads are distinct)", name, x.Op)
+					}
+				}
+			case *ast.CallExpr:
+				if fn := calleeFunc(info, x); fn != nil && fn.Pkg() != nil {
+					switch fn.Pkg().Path() {
+					case "time":
+						switch fn.Name() {
+						case "Now", "Since", "Until":
+							pass.Reportf(x.Pos(),
+								"%s calls time.%s inside bit-exact code; wall-clock values must not influence a bit-exact result — hoist timing into the caller", name, fn.Name())
+						}
+					case "math/rand", "math/rand/v2":
+						pass.Reportf(x.Pos(),
+							"%s calls %s.%s inside bit-exact code; randomness must not influence a bit-exact result", name, fn.Pkg().Name(), fn.Name())
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkCompletionOrder flags appends to an outer slice inside a loop
+// that receives from a channel: the append order is goroutine
+// completion order, not shard order, so two runs of the same job can
+// concatenate results differently. Indexed writes (shards[o.idx] = r)
+// are the deterministic shape and pass.
+func checkCompletionOrder(pass *analysis.Pass, fname string, loop ast.Stmt, body *ast.BlockStmt) {
+	if body == nil || !loopReceivesFromChannel(pass, loop, body) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			if len(call.Args) == 0 {
+				continue
+			}
+			dst := rootIdent(call.Args[0])
+			if dst == nil {
+				continue
+			}
+			obj := pass.TypesInfo().ObjectOf(dst)
+			if obj == nil || within(obj.Pos(), loop) {
+				continue // loop-local accumulator: not cross-iteration state
+			}
+			pass.Reportf(call.Pos(),
+				"%s appends %s in a channel-receive loop: results land in goroutine completion order — write to a shard-indexed slot instead", fname, dst.Name)
+		}
+		return true
+	})
+}
+
+// loopReceivesFromChannel reports whether loop is driven by channel
+// receives: a range over a channel, a <-ch assignment in the body, or a
+// select case receiving from a channel.
+func loopReceivesFromChannel(pass *analysis.Pass, loop ast.Stmt, body *ast.BlockStmt) bool {
+	if r, ok := loop.(*ast.RangeStmt); ok {
+		if t := pass.TypeOf(r.X); t != nil {
+			if _, isChan := t.Underlying().(*types.Chan); isChan {
+				return true
+			}
+		}
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op.String() == "<-" {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// calleeFunc resolves a call's callee to its function object (through
+// selectors and parens), or nil for indirect calls and conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := call.Fun
+	for {
+		if p, ok := fun.(*ast.ParenExpr); ok {
+			fun = p.X
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		if fn, ok := info.ObjectOf(f).(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.ObjectOf(f.Sel).(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}

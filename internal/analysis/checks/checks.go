@@ -2,16 +2,34 @@
 // cmd/kernvet. Each analyzer mechanically enforces an invariant that
 // an earlier PR established by convention:
 //
+//   - atomicexpvar: atomically-written counters are never accessed
+//     plainly, and expvar metric fields are mutated only through their
+//     owning type's helpers (the /metrics surfaces of PRs 6 and 9).
+//   - bitexact: code annotated //kernvet:bitexact (coordinator merge,
+//     wire codec, fleet shard combine, bandwidth.Best) stays
+//     deterministic — no map ranges, completion-order collection,
+//     wall-clock/rand influence, or float == (PRs 7–9's bit-identity
+//     contract).
 //   - compsum: running float sums in sweep loops must be compensated
 //     (the PR 3 stability layer).
 //   - ctxpoll: exported ...Context entry points must actually poll or
 //     propagate their context, and keep a non-Context sibling (PR 2).
-//   - poolpair: pooled workspaces acquired via sync.Pool.Get or
-//     AcquireWorkspace must be released exactly once (PR 4).
+//   - errdiscipline: sentinel and typed errors flow through
+//     errors.Is/As and %w wrapping, never ==, type assertions, or
+//     string matching (the typed-error families of PRs 7–9).
+//   - goleak: goroutines launched in exported APIs are joined or bound
+//     to an in-function cancellable context (PR 9's hedging and PR 7's
+//     requeue loops).
 //   - lockdefer: mutexes in internal/serve must be released on every
 //     path (PR 2's drain/submit ordering).
 //   - narrowconv: float64→float32 narrowing may happen only inside
 //     designated f32 kernels (the paper's device precision boundary).
+//   - poolpair: pooled workspaces acquired via sync.Pool.Get or
+//     AcquireWorkspace must be released exactly once (PR 4).
+//
+// The engine adds a tenth check name, "staleignore" (see
+// analysis.StaleCheck): //kernvet:ignore directives that suppress
+// nothing are findings themselves on full-suite runs.
 package checks
 
 import (
@@ -23,9 +41,20 @@ import (
 	"repro/internal/analysis"
 )
 
-// All returns every analyzer in the suite, in stable order.
+// All returns every analyzer in the suite, sorted by name (the order
+// -list prints and CI reports).
 func All() []*analysis.Analyzer {
-	return []*analysis.Analyzer{Compsum, Ctxpoll, Poolpair, Lockdefer, Narrowconv}
+	return []*analysis.Analyzer{
+		Atomicexpvar,
+		Bitexact,
+		Compsum,
+		Ctxpoll,
+		Errdiscipline,
+		Goleak,
+		Lockdefer,
+		Narrowconv,
+		Poolpair,
+	}
 }
 
 // ByName returns the named analyzers (nil and false when any name is

@@ -72,7 +72,12 @@ func typeName(e ast.Expr) string {
 		return t.Name
 	case *ast.StarExpr:
 		return typeName(t.X)
-	case *ast.IndexExpr: // generic receiver
+	case *ast.IndexExpr: // generic receiver, one type parameter
+		return typeName(t.X)
+	case *ast.IndexListExpr: // generic receiver, multiple type parameters
+		// Without this case every multi-parameter generic receiver keyed
+		// to "", so methods on different such types counted as each
+		// other's siblings and a missing sibling went unreported.
 		return typeName(t.X)
 	}
 	return ""

@@ -1,0 +1,238 @@
+package checks
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Errdiscipline enforces the repository's error-matching contract.
+//
+// The cluster-era subsystems speak in typed and sentinel errors —
+// gpu.ErrDeviceLost benched by the fleet scheduler, serve.ErrQueueFull
+// mapped to 429, mvreg.ErrDimension rejected at the API edge — and all
+// of them cross wrap layers (fmt.Errorf("%w"), gpu.DeviceError.Unwrap)
+// on the way up. Matching them with == or string comparison works
+// until the first wrap and silently stops working after it, so the
+// analyzer flags:
+//
+//   - ==/!= against a sentinel error (a package-level error variable,
+//     local or imported — the facts pass sees cross-package sentinels
+//     through export data): use errors.Is;
+//   - type assertions and type switches on error values: use errors.As;
+//   - string matching on err.Error() (comparison or strings.Contains
+//     and friends): errors carry identity, not grep targets;
+//   - fmt.Errorf formatting an error with %v/%s/%q: use %w so the
+//     chain stays unwrappable.
+var Errdiscipline = &analysis.Analyzer{
+	Name: "errdiscipline",
+	Doc:  "sentinel and typed errors flow through errors.Is/As and %w, never ==, type assertions, or string matching",
+	Run:  runErrdiscipline,
+}
+
+func runErrdiscipline(pass *analysis.Pass) {
+	if !inScope(pass, "repro") {
+		return
+	}
+	info := pass.TypesInfo()
+	analysis.InspectStack(pass.Files(), func(n ast.Node, stack []ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.BinaryExpr:
+			checkSentinelCompare(pass, x)
+			checkErrorStringCompare(pass, x)
+		case *ast.TypeAssertExpr:
+			// x.(T) on an error: a TypeSwitchStmt's assert has Type==nil
+			// and is handled below via the switch statement itself.
+			if x.Type != nil && isErrorIface(pass.TypeOf(x.X)) {
+				pass.Reportf(x.Pos(),
+					"type assertion on error value %s; use errors.As so wrapped errors still match", types.ExprString(x.X))
+			}
+		case *ast.TypeSwitchStmt:
+			if expr := typeSwitchSubject(x); expr != nil && isErrorIface(pass.TypeOf(expr)) {
+				pass.Reportf(x.Pos(),
+					"type switch on error value %s; use errors.As so wrapped errors still match", types.ExprString(expr))
+			}
+		case *ast.CallExpr:
+			checkStringsMatchOnError(pass, x)
+			checkErrorfVerbs(pass, info, x)
+		}
+		return true
+	})
+}
+
+// isErrorIface reports whether t is exactly the error interface (not a
+// concrete type that happens to implement it — asserting on a concrete
+// error value is a plain conversion, not a matching mistake).
+func isErrorIface(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	iface, ok := t.Underlying().(*types.Interface)
+	return ok && types.Identical(iface, errorIface)
+}
+
+// typeSwitchSubject extracts the switched-on expression of a type
+// switch ("switch v := err.(type)" → err).
+func typeSwitchSubject(ts *ast.TypeSwitchStmt) ast.Expr {
+	switch s := ts.Assign.(type) {
+	case *ast.AssignStmt:
+		if len(s.Rhs) == 1 {
+			if ta, ok := s.Rhs[0].(*ast.TypeAssertExpr); ok {
+				return ta.X
+			}
+		}
+	case *ast.ExprStmt:
+		if ta, ok := s.X.(*ast.TypeAssertExpr); ok {
+			return ta.X
+		}
+	}
+	return nil
+}
+
+// checkSentinelCompare flags err == Sentinel / err != Sentinel.
+func checkSentinelCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		obj := exprObject(pass, side)
+		if obj == nil || !isSentinelError(obj) {
+			continue
+		}
+		where := obj.Name()
+		if obj.Pkg() != nil && pass.Path() != obj.Pkg().Path() {
+			where = obj.Pkg().Path() + "." + obj.Name()
+		}
+		pass.Reportf(be.Pos(),
+			"sentinel error %s compared with %s; use errors.Is so a fmt.Errorf(%%w) wrap layer still matches", where, be.Op)
+		return
+	}
+}
+
+// checkErrorStringCompare flags e.Error() ==/!= "..." and any other
+// comparison whose operand is an Error() call on an error value.
+func checkErrorStringCompare(pass *analysis.Pass, be *ast.BinaryExpr) {
+	if be.Op != token.EQL && be.Op != token.NEQ {
+		return
+	}
+	for _, side := range []ast.Expr{be.X, be.Y} {
+		if isErrorStringCall(pass, side) {
+			pass.Reportf(be.Pos(),
+				"error matched by its Error() string; compare identity with errors.Is/As instead of text")
+			return
+		}
+	}
+}
+
+// checkStringsMatchOnError flags strings.Contains/HasPrefix/HasSuffix/
+// EqualFold applied to err.Error().
+func checkStringsMatchOnError(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo(), call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "strings" {
+		return
+	}
+	switch fn.Name() {
+	case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if isErrorStringCall(pass, arg) {
+			pass.Reportf(call.Pos(),
+				"error matched with strings.%s on its Error() text; compare identity with errors.Is/As instead", fn.Name())
+			return
+		}
+	}
+}
+
+// isErrorStringCall reports whether e is a call of Error() on an error
+// value.
+func isErrorStringCall(pass *analysis.Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" || len(call.Args) != 0 {
+		return false
+	}
+	return implementsError(pass.TypeOf(sel.X))
+}
+
+// checkErrorfVerbs flags fmt.Errorf("... %v ...", err): formatting an
+// error with %v/%s/%q flattens it to text and severs the Unwrap chain;
+// %w preserves it.
+func checkErrorfVerbs(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	for i, verb := range formatVerbs(format) {
+		argIdx := 1 + i
+		if argIdx >= len(call.Args) {
+			break
+		}
+		switch verb {
+		case 'v', 's', 'q':
+			if t := pass.TypeOf(call.Args[argIdx]); isErrorIface(t) || implementsError(t) && !isBasic(t) {
+				pass.Reportf(call.Args[argIdx].Pos(),
+					"fmt.Errorf formats error %s with %%%c; wrap it with %%w so errors.Is/As keep working through this layer",
+					types.ExprString(call.Args[argIdx]), verb)
+			}
+		}
+	}
+}
+
+func isBasic(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Basic)
+	return ok
+}
+
+// formatVerbs returns the verb letter for each argument-consuming verb
+// of a printf-style format string, in order. '*' width/precision and
+// explicit argument indexes are rare in this codebase and not
+// modelled; formats using them simply contribute their final verbs.
+func formatVerbs(format string) []rune {
+	var verbs []rune
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, precision.
+		for i < len(format) && strings.ContainsRune("+-# 0123456789.", rune(format[i])) {
+			i++
+		}
+		if i >= len(format) {
+			break
+		}
+		if format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, rune(format[i]))
+	}
+	return verbs
+}
+
+// exprObject resolves an identifier or selector to its object.
+func exprObject(pass *analysis.Pass, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return pass.ObjectOf(x)
+	case *ast.SelectorExpr:
+		return pass.ObjectOf(x.Sel)
+	}
+	return nil
+}

@@ -1,0 +1,106 @@
+package checks
+
+import (
+	"go/types"
+	"sort"
+)
+
+// Cross-package error facts. The loader type-checks each package from
+// source but resolves its imports through gc export data, so the
+// types.Package graph hanging off a Pass carries every exported symbol
+// of every dependency — including sentinel error values and typed
+// errors defined in other repro packages. ErrorFacts walks that graph
+// once and inventories them, which is how errdiscipline running over
+// repro/internal/coord knows that gpu.ErrDeviceLost is a sentinel even
+// though internal/gpu was never parsed in this process.
+
+// ErrorFact records one exported error-valued symbol visible to a
+// package under analysis.
+type ErrorFact struct {
+	// Pkg is the defining package's import path.
+	Pkg string
+	// Name is the exported identifier (ErrDeviceLost, XIDError, ...).
+	Name string
+	// Kind is "sentinel" for error-typed variables and "type" for named
+	// types implementing error.
+	Kind string
+}
+
+// errorIface is the universe error interface.
+var errorIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// implementsError reports whether t or *t satisfies the error
+// interface.
+func implementsError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Implements(t, errorIface) || types.Implements(types.NewPointer(t), errorIface)
+}
+
+// isSentinelError reports whether obj is a package-level error-typed
+// variable — the shape that must be compared with errors.Is, never ==.
+func isSentinelError(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	return implementsError(v.Type())
+}
+
+// ErrorFacts inventories every exported sentinel error and error type
+// reachable from tpkg: its own scope plus the import graph
+// (export-data-backed for dependencies). The result is sorted by
+// package then name, so tests and reports are deterministic.
+//
+// Completeness contract: direct imports of a source-checked package are
+// always present, which is exactly the set whose sentinels the
+// package's source can name in a comparison. Deeper packages appear
+// only when a dependency's export data references them — go/types
+// documents Imports() of export-data packages as possibly partial — so
+// the inventory must not be read as the module-wide error universe.
+func ErrorFacts(tpkg *types.Package) []ErrorFact {
+	seen := make(map[*types.Package]bool)
+	var facts []ErrorFact
+	var walk func(p *types.Package)
+	walk = func(p *types.Package) {
+		if p == nil || seen[p] {
+			return
+		}
+		seen[p] = true
+		scope := p.Scope()
+		for _, name := range scope.Names() {
+			obj := scope.Lookup(name)
+			if !obj.Exported() {
+				continue
+			}
+			switch o := obj.(type) {
+			case *types.Var:
+				if implementsError(o.Type()) {
+					facts = append(facts, ErrorFact{Pkg: p.Path(), Name: name, Kind: "sentinel"})
+				}
+			case *types.TypeName:
+				if o.IsAlias() {
+					continue
+				}
+				if _, isIface := o.Type().Underlying().(*types.Interface); isIface {
+					continue
+				}
+				if implementsError(o.Type()) {
+					facts = append(facts, ErrorFact{Pkg: p.Path(), Name: name, Kind: "type"})
+				}
+			}
+		}
+		for _, imp := range p.Imports() {
+			walk(imp)
+		}
+	}
+	walk(tpkg)
+	sort.Slice(facts, func(i, j int) bool {
+		if facts[i].Pkg != facts[j].Pkg {
+			return facts[i].Pkg < facts[j].Pkg
+		}
+		return facts[i].Name < facts[j].Name
+	})
+	return facts
+}

@@ -1,0 +1,89 @@
+package checks_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/checks"
+)
+
+// TestErrorFactsCrossPackage pins the export-data plumbing behind
+// errdiscipline: analyzing repro/internal/core must surface the
+// sentinel errors and error types defined in its imports — internal/gpu
+// was never parsed in this process, only its gc export data was read.
+func TestErrorFactsCrossPackage(t *testing.T) {
+	l := newLoader(t)
+	pkgs, err := l.Load("repro/internal/core")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Types == nil {
+		t.Fatalf("expected one type-checked package, got %d", len(pkgs))
+	}
+	facts := checks.ErrorFacts(pkgs[0].Types)
+	want := []checks.ErrorFact{
+		{Pkg: "repro/internal/core", Name: "ErrNoHealthyDevices", Kind: "sentinel"},
+		{Pkg: "repro/internal/gpu", Name: "ErrDeviceLost", Kind: "sentinel"},
+		{Pkg: "repro/internal/gpu", Name: "ErrMemoryPressure", Kind: "sentinel"},
+		{Pkg: "repro/internal/gpu", Name: "DeviceError", Kind: "type"},
+		{Pkg: "repro/internal/gpu", Name: "XIDError", Kind: "type"},
+	}
+	have := make(map[checks.ErrorFact]bool, len(facts))
+	for _, f := range facts {
+		have[f] = true
+	}
+	for _, w := range want {
+		if !have[w] {
+			t.Errorf("ErrorFacts(coord) is missing %+v", w)
+		}
+	}
+	for i := 1; i < len(facts); i++ {
+		a, b := facts[i-1], facts[i]
+		if a.Pkg > b.Pkg || (a.Pkg == b.Pkg && a.Name > b.Name) {
+			t.Fatalf("ErrorFacts not sorted: %+v before %+v", a, b)
+		}
+	}
+}
+
+// TestCrossPackageSentinelCompare seeds a package that compares an
+// error against gpu.ErrDeviceLost with == and asserts errdiscipline
+// names the sentinel by its defining package — proof the check sees
+// sentinels through export data, not just same-package declarations.
+func TestCrossPackageSentinelCompare(t *testing.T) {
+	dir := t.TempDir()
+	src := `//kernvet:path repro/internal/coord
+
+package seeded
+
+import "repro/internal/gpu"
+
+func Lost(err error) bool {
+	return err == gpu.ErrDeviceLost
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "seeded.go"), []byte(src), 0o644); err != nil {
+		t.Fatalf("writing seeded source: %v", err)
+	}
+	l := newLoader(t)
+	// Prime export data for the imported package the way Load does.
+	if _, err := l.Load("repro/internal/gpu"); err != nil {
+		t.Fatalf("Load(gpu): %v", err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("seeded package has type errors: %v", pkg.TypeErrors)
+	}
+	diags := analysis.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{checks.Errdiscipline})
+	if len(diags) != 1 {
+		t.Fatalf("expected exactly one errdiscipline finding, got %d: %v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "repro/internal/gpu.ErrDeviceLost") {
+		t.Errorf("finding does not name the sentinel's defining package: %s", diags[0].Message)
+	}
+}

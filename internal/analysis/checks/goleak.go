@@ -1,0 +1,270 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis"
+)
+
+// Goleak polices goroutine lifecycles in exported APIs.
+//
+// The coordinator's hedging supervisor and the fleet's requeue rounds
+// both launch goroutines on behalf of a caller who has no handle on
+// them; the only things keeping those goroutines from outliving the
+// request are the disciplines this analyzer mechanizes. A goroutine
+// launched inside an exported function must show one of:
+//
+//   - a WaitGroup join: the goroutine calls X.Done (or the launch is
+//     preceded by X.Add) and the launching function calls X.Wait;
+//   - a channel join: the goroutine sends on or closes a channel the
+//     launching function receives from (select counts), or that
+//     channel is a parameter of / returned by the function, making the
+//     caller the owner of the join;
+//   - context binding: the goroutine runs under a context created in
+//     the function by context.WithCancel/WithTimeout/WithDeadline
+//     whose cancel func is deferred, so every exit path releases it.
+//
+// Anything else is reported: the goroutine may never terminate, and
+// nothing ties its lifetime to the API call that spawned it. Lifecycles
+// that genuinely span the owning object (a server's worker pool joined
+// by Drain, not by New) are the justified-ignore case — the annotation
+// documents where the join actually lives.
+var Goleak = &analysis.Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines launched in exported APIs are joined (WaitGroup/channel) or bound to an in-function cancellable context",
+	Run:  runGoleak,
+}
+
+func runGoleak(pass *analysis.Pass) {
+	if !inScope(pass, "repro") {
+		return
+	}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !ast.IsExported(fd.Name.Name) {
+				continue
+			}
+			checkFuncGoroutines(pass, fd)
+		}
+	}
+}
+
+type funcFacts struct {
+	// waited holds the root objects of X.Wait() calls.
+	waited map[types.Object]bool
+	// received holds channel objects the function receives from
+	// (<-ch, range ch, select case <-ch), closures included.
+	received map[types.Object]bool
+	// cancelBound holds context objects created by context.WithCancel/
+	// WithTimeout/WithDeadline whose cancel variable is deferred.
+	cancelBound map[types.Object]bool
+	// funcLits maps local variables to the function literals assigned
+	// to them, so `go work()` can be traced to work's body.
+	funcLits map[types.Object]*ast.FuncLit
+}
+
+func checkFuncGoroutines(pass *analysis.Pass, fd *ast.FuncDecl) {
+	facts := collectFuncFacts(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if goroutineManaged(pass, fd, facts, g) {
+			return true
+		}
+		pass.Reportf(g.Pos(),
+			"goroutine launched in exported %s is neither joined (WaitGroup/channel) nor bound to a context cancelled on every exit path; its lifetime outlives the call",
+			fd.Name.Name)
+		return true
+	})
+}
+
+func collectFuncFacts(pass *analysis.Pass, fd *ast.FuncDecl) *funcFacts {
+	facts := &funcFacts{
+		waited:      make(map[types.Object]bool),
+		received:    make(map[types.Object]bool),
+		cancelBound: make(map[types.Object]bool),
+		funcLits:    make(map[types.Object]*ast.FuncLit),
+	}
+	// Contexts from context.With* and their cancel variables.
+	type pending struct {
+		ctxObj    types.Object
+		cancelObj types.Object
+	}
+	var created []pending
+	deferred := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if i < len(x.Rhs) {
+					if fl, ok := x.Rhs[i].(*ast.FuncLit); ok && len(x.Rhs) == len(x.Lhs) {
+						facts.funcLits[obj] = fl
+					}
+				}
+			}
+			// ctx, cancel := context.WithCancel(...)
+			if len(x.Lhs) == 2 && len(x.Rhs) == 1 {
+				if call, ok := x.Rhs[0].(*ast.CallExpr); ok && isContextWithCancel(pass, call) {
+					ctxID, ok1 := x.Lhs[0].(*ast.Ident)
+					cancelID, ok2 := x.Lhs[1].(*ast.Ident)
+					if ok1 && ok2 {
+						created = append(created, pending{pass.ObjectOf(ctxID), pass.ObjectOf(cancelID)})
+					}
+				}
+			}
+		case *ast.DeferStmt:
+			if id, ok := ast.Unparen(x.Call.Fun).(*ast.Ident); ok {
+				if obj := pass.ObjectOf(id); obj != nil {
+					deferred[obj] = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				if obj := exprObject(pass, x.X); obj != nil {
+					facts.received[obj] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pass.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					if obj := exprObject(pass, x.X); obj != nil {
+						facts.received[obj] = true
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+				if root := rootIdent(sel.X); root != nil {
+					if obj := pass.ObjectOf(root); obj != nil {
+						facts.waited[obj] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, p := range created {
+		if p.ctxObj != nil && p.cancelObj != nil && deferred[p.cancelObj] {
+			facts.cancelBound[p.ctxObj] = true
+		}
+	}
+	// Channels owned by the caller: parameters and returned values.
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.ObjectOf(name); obj != nil && isChanType(obj.Type()) {
+				facts.received[obj] = true
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			if obj := exprObject(pass, res); obj != nil && isChanType(obj.Type()) {
+				facts.received[obj] = true
+			}
+		}
+		return true
+	})
+	return facts
+}
+
+// goroutineManaged reports whether the goroutine's lifetime is tied to
+// the function by any of the accepted disciplines.
+func goroutineManaged(pass *analysis.Pass, fd *ast.FuncDecl, facts *funcFacts, g *ast.GoStmt) bool {
+	// Context binding through call arguments: go run(sctx, ...) where
+	// sctx is cancel-bound in this function.
+	for _, arg := range g.Call.Args {
+		if obj := exprObject(pass, arg); obj != nil && facts.cancelBound[obj] {
+			return true
+		}
+	}
+	body := goroutineBody(pass, facts, g)
+	if body == nil {
+		return false
+	}
+	managed := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if managed {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := x.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if root := rootIdent(sel.X); root != nil {
+					if obj := pass.ObjectOf(root); obj != nil && facts.waited[obj] {
+						managed = true
+					}
+				}
+			}
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" && len(x.Args) == 1 {
+				if obj := exprObject(pass, x.Args[0]); obj != nil && facts.received[obj] {
+					managed = true
+				}
+			}
+		case *ast.SendStmt:
+			if obj := exprObject(pass, x.Chan); obj != nil && facts.received[obj] {
+				managed = true
+			}
+		case *ast.Ident:
+			if obj := pass.ObjectOf(x); obj != nil && facts.cancelBound[obj] {
+				managed = true // closure captures a cancel-bound context
+			}
+		}
+		return !managed
+	})
+	return managed
+}
+
+// goroutineBody returns the launched function's body when it is
+// visible: a func literal, or a local variable holding one.
+func goroutineBody(pass *analysis.Pass, facts *funcFacts, g *ast.GoStmt) *ast.BlockStmt {
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.FuncLit:
+		return fun.Body
+	case *ast.Ident:
+		if obj := pass.ObjectOf(fun); obj != nil {
+			if fl := facts.funcLits[obj]; fl != nil {
+				return fl.Body
+			}
+		}
+	}
+	return nil
+}
+
+// isContextWithCancel reports whether call is
+// context.WithCancel/WithTimeout/WithDeadline.
+func isContextWithCancel(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(pass.TypesInfo(), call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+		return false
+	}
+	switch fn.Name() {
+	case "WithCancel", "WithTimeout", "WithDeadline", "WithCancelCause", "WithTimeoutCause", "WithDeadlineCause":
+		return true
+	}
+	return false
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}

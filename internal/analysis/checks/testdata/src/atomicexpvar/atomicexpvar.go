@@ -1,0 +1,62 @@
+//kernvet:path repro/internal/serve
+
+// Package atomicexpvar exercises the atomicexpvar analyzer: plain
+// accesses to atomically-written counters and expvar field mutations
+// outside the owning type's methods are flagged; owner-method
+// mutations, reads via Value(), atomic loads, and suppressed sites
+// pass.
+package atomicexpvar
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// Metrics is the counter surface under test.
+type Metrics struct {
+	Requests expvar.Int
+	Shed     expvar.Int
+}
+
+// IncRequests is the owning helper: mutating inside a Metrics method is
+// the sanctioned shape.
+func (m *Metrics) IncRequests() {
+	m.Requests.Add(1)
+}
+
+type server struct{ metrics *Metrics }
+
+// handle mutates an expvar field from outside the owning type: flagged.
+func (s *server) handle() {
+	s.metrics.Shed.Add(1) // want `expvar field Metrics.Shed mutated outside`
+	s.metrics.IncRequests()
+}
+
+// snapshot only reads; reads are always fine.
+func (s *server) snapshot() int64 {
+	return s.metrics.Shed.Value()
+}
+
+// counters mixes atomic writes with a plain read.
+type counters struct {
+	hits int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) read() int64 {
+	return c.hits // want `accessed with sync/atomic elsewhere but plainly here`
+}
+
+// readAtomic loads through sync/atomic: clean.
+func (c *counters) readAtomic() int64 {
+	return atomic.LoadInt64(&c.hits)
+}
+
+// lockedRead documents an external-synchronisation exception the
+// analyzer cannot see.
+func (c *counters) lockedRead() int64 {
+	return c.hits //kernvet:ignore atomicexpvar -- testdata: caller holds the owner's mutex
+}

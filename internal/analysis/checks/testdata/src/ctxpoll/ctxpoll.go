@@ -87,3 +87,44 @@ func Quiet(xs []float64) int { return len(xs) }
 func QuietContext(ctx context.Context, xs []float64) int {
 	return len(xs)
 }
+
+// Sweeper pins that methods are audited exactly like package-level
+// functions: a never-polling method-receiver ...Context is flagged.
+type Sweeper struct{}
+
+// Select is the non-Context sibling of Sweeper.SelectContext.
+func (s *Sweeper) Select(xs []float64) float64 { return xs[0] }
+
+// SelectContext never looks at ctx: flagged even as a method.
+func (s *Sweeper) SelectContext(ctx context.Context, xs []float64) float64 { // want `SelectContext never polls its context`
+	return xs[0]
+}
+
+// Other shares method names with Sweeper but is a different type, so
+// its Context methods must find their siblings on Other, not Sweeper.
+type Other struct{}
+
+// RunContext polls, but Other has no Run method (the package-level Run
+// does not count): flagged.
+func (o *Other) RunContext(ctx context.Context) error { // want `RunContext has no non-Context sibling Run`
+	return ctx.Err()
+}
+
+// Pair is a multi-type-parameter generic receiver; its methods used to
+// key to an empty receiver name, colliding with every other such type.
+type Pair[K comparable, V any] struct{}
+
+// Get is the non-Context sibling of Pair.GetContext.
+func (p *Pair[K, V]) Get() {}
+
+// GetContext has its sibling on the same generic type: clean.
+func (p *Pair[K, V]) GetContext(ctx context.Context) error { return ctx.Err() }
+
+// Bag has a GetContext but no Get. Before the IndexListExpr fix the
+// sibling lookup collided with Pair.Get and this went unreported.
+type Bag[K comparable, V any] struct{}
+
+// GetContext has no non-Context sibling on Bag: flagged.
+func (b *Bag[K, V]) GetContext(ctx context.Context) error { // want `GetContext has no non-Context sibling Get`
+	return ctx.Err()
+}

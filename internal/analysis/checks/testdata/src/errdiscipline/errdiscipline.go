@@ -1,0 +1,88 @@
+//kernvet:path repro/internal/coord
+
+// Package errdiscipline exercises the errdiscipline analyzer: sentinel
+// == comparisons, type assertions/switches on error values, Error()
+// string matching, and lossy %v wrapping are flagged; errors.Is/As,
+// nil checks, %w wrapping, and suppressed sites are not.
+package errdiscipline
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrShed is a package-level sentinel.
+var ErrShed = errors.New("request shed")
+
+type xidError struct{ code int }
+
+func (e *xidError) Error() string { return fmt.Sprintf("xid %d", e.code) }
+
+func compareEq(err error) bool {
+	return err == ErrShed // want `sentinel error ErrShed compared with ==`
+}
+
+func compareNeq(err error) bool {
+	return err != ErrShed // want `sentinel error ErrShed compared with !=`
+}
+
+// viaIs is the contract shape: clean.
+func viaIs(err error) bool {
+	return errors.Is(err, ErrShed)
+}
+
+// nilCheck compares against nil, not a sentinel: clean.
+func nilCheck(err error) bool {
+	return err == nil
+}
+
+func assertType(err error) bool {
+	_, ok := err.(*xidError) // want `type assertion on error value err`
+	return ok
+}
+
+func switchType(err error) string {
+	switch err.(type) { // want `type switch on error value err`
+	case *xidError:
+		return "xid"
+	}
+	return ""
+}
+
+// viaAs is the contract shape for typed errors: clean.
+func viaAs(err error) bool {
+	var xe *xidError
+	return errors.As(err, &xe)
+}
+
+func stringMatch(err error) bool {
+	return err.Error() == "request shed" // want `matched by its Error\(\) string`
+}
+
+func stringContains(err error) bool {
+	return strings.Contains(err.Error(), "xid") // want `strings.Contains on its Error`
+}
+
+// stringOnPlain matches a plain string, not an error: clean.
+func stringOnPlain(s string) bool {
+	return strings.Contains(s, "xid")
+}
+
+func lossyWrap(err error) error {
+	return fmt.Errorf("select failed: %v", err) // want `formats error err with %v`
+}
+
+// properWrap keeps the chain unwrappable: clean.
+func properWrap(err error) error {
+	return fmt.Errorf("select failed: %w", err)
+}
+
+// formatValue formats a float, not an error: clean.
+func formatValue(h float64) error {
+	return fmt.Errorf("bad bandwidth %v", h)
+}
+
+func suppressedCompare(err error) bool {
+	return err == ErrShed //kernvet:ignore errdiscipline -- testdata: sentinel documented as never wrapped on this path
+}

@@ -1,0 +1,75 @@
+//kernvet:path repro/internal/coord
+
+// Package goleak exercises the goleak analyzer: goroutines launched in
+// exported APIs must be joined (WaitGroup/channel) or bound to an
+// in-function cancellable context; unexported launchers, caller-owned
+// channels, and suppressed sites pass.
+package goleak
+
+import (
+	"context"
+	"sync"
+)
+
+// LeakyWatch launches a goroutine nothing ever joins: flagged.
+func LeakyWatch(n int) {
+	go func() { // want `neither joined`
+		_ = n * 2
+	}()
+}
+
+// JoinedSweep joins its workers through a WaitGroup: clean.
+func JoinedSweep(parts []int) {
+	var wg sync.WaitGroup
+	for range parts {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// ChannelJoined receives the goroutine's result before returning: clean.
+func ChannelJoined() int {
+	done := make(chan int)
+	go func() { done <- 1 }()
+	return <-done
+}
+
+// CtxBound hands the goroutine a context whose deferred cancel fires on
+// every exit path: clean.
+func CtxBound(ctx context.Context, work func(context.Context)) {
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	go work(sctx)
+	<-sctx.Done()
+}
+
+// CtxUnreleased cancels only on the fall-through path — a panic or an
+// early return would leak the goroutine: flagged.
+func CtxUnreleased(ctx context.Context, work func(context.Context)) {
+	sctx, cancel := context.WithCancel(ctx)
+	go work(sctx) // want `neither joined`
+	cancel()
+}
+
+// ReturnedChannel hands the join to the caller: clean.
+func ReturnedChannel() chan int {
+	out := make(chan int, 1)
+	go func() { out <- 1 }()
+	return out
+}
+
+// helperLaunch is unexported; goleak audits only exported APIs.
+func helperLaunch() {
+	go func() {}()
+}
+
+// SuppressedPool launches object-scoped workers whose join lives in the
+// owner's Drain, not here — the justified-ignore case.
+func SuppressedPool(n int) {
+	for i := 0; i < n; i++ {
+		go func() {}() //kernvet:ignore goleak -- testdata: worker pool joined by the owner's Drain
+	}
+}

@@ -1,0 +1,29 @@
+//kernvet:path repro/internal/coord
+
+// Package staleignore exercises the engine's stale-suppression
+// detection: a //kernvet:ignore directive that silences nothing is a
+// finding itself, while a directive that fires stays silent.
+package staleignore
+
+import "errors"
+
+var errGone = errors.New("gone")
+
+// liveDirective really suppresses a finding: the directive is used and
+// therefore not stale.
+func liveDirective(err error) bool {
+	return err == errGone //kernvet:ignore errdiscipline -- testdata: live suppression, keeps this directive non-stale
+}
+
+// orphanedDirective excuses nothing — the comparison it once covered
+// was fixed — so the directive itself is reported.
+func orphanedDirective(err error) bool {
+	//kernvet:ignore errdiscipline -- testdata: deliberately orphaned // want `suppresses no findings`
+	return errors.Is(err, errGone)
+}
+
+// orphanedAll names every check and still suppresses nothing.
+func orphanedAll(x int) int {
+	//kernvet:ignore all -- testdata: deliberately orphaned wildcard // want `suppresses no findings`
+	return x + 1
+}

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -19,8 +20,18 @@ import (
 //
 // The justification after “--” is required by convention (review
 // enforces it; the parser only requires the check list).
+//
+// Every directive is accountable: the engine tracks whether it actually
+// silenced a finding, and RunOptions.StaleIgnores turns directives that
+// suppressed nothing into "staleignore" findings of their own. Stale
+// findings bypass suppression — an ignore cannot excuse itself.
 
 const ignorePrefix = "//kernvet:ignore"
+
+// StaleCheck is the pseudo-check name under which orphaned ignore
+// directives are reported. It is not an analyzer: the engine itself
+// emits these findings after all analyzers have run.
+const StaleCheck = "staleignore"
 
 // parseIgnore extracts the check names from one comment, or nil when
 // the comment is not an ignore directive.
@@ -45,6 +56,23 @@ func parseIgnore(text string) []string {
 	return checks
 }
 
+// directive is one parsed //kernvet:ignore comment, with its usage
+// tracked so the engine can flag directives that suppress nothing.
+type directive struct {
+	pos    token.Position
+	checks []string
+	used   bool
+}
+
+func (d *directive) matches(check string) bool {
+	for _, c := range d.checks {
+		if c == check || c == "all" {
+			return true
+		}
+	}
+	return false
+}
+
 // lineKey identifies one source line.
 type lineKey struct {
 	file string
@@ -56,75 +84,110 @@ type lineKey struct {
 type suppRange struct {
 	file       string
 	start, end int
-	checks     map[string]bool
+	d          *directive
 }
 
 // suppressions is the per-package suppression index.
 type suppressions struct {
-	lines  map[lineKey]map[string]bool
-	ranges []suppRange
-}
-
-func (s *suppressions) add(m map[string]bool, checks []string) {
-	for _, c := range checks {
-		m[c] = true
-	}
+	lines      map[lineKey][]*directive
+	ranges     []suppRange
+	directives []*directive
 }
 
 // collectSuppressions scans every comment in the package.
 func collectSuppressions(pkg *Package) *suppressions {
-	s := &suppressions{lines: make(map[lineKey]map[string]bool)}
-	mark := func(file string, line int, checks []string) {
-		k := lineKey{file, line}
-		if s.lines[k] == nil {
-			s.lines[k] = make(map[string]bool)
-		}
-		s.add(s.lines[k], checks)
-	}
+	s := &suppressions{lines: make(map[lineKey][]*directive)}
+	// Function-doc comments become range directives below; remember them
+	// so the line pass does not double-index the same comment.
+	inDoc := make(map[*ast.Comment]bool)
 	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				checks := parseIgnore(c.Text)
-				if checks == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				mark(pos.Filename, pos.Line, checks)
-				mark(pos.Filename, pos.Line+1, checks)
-			}
-		}
-		// Function-doc annotations cover the whole function body.
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Doc == nil {
 				continue
 			}
-			var checks []string
 			for _, c := range fd.Doc.List {
-				checks = append(checks, parseIgnore(c.Text)...)
+				checks := parseIgnore(c.Text)
+				if checks == nil {
+					continue
+				}
+				inDoc[c] = true
+				d := &directive{pos: pkg.Fset.Position(c.Pos()), checks: checks}
+				s.directives = append(s.directives, d)
+				start := pkg.Fset.Position(fd.Pos())
+				end := pkg.Fset.Position(fd.End())
+				s.ranges = append(s.ranges, suppRange{file: start.Filename, start: start.Line, end: end.Line, d: d})
 			}
-			if len(checks) == 0 {
-				continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if inDoc[c] {
+					continue
+				}
+				checks := parseIgnore(c.Text)
+				if checks == nil {
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos()), checks: checks}
+				s.directives = append(s.directives, d)
+				k := lineKey{d.pos.Filename, d.pos.Line}
+				s.lines[k] = append(s.lines[k], d)
+				k.line++
+				s.lines[k] = append(s.lines[k], d)
 			}
-			start := pkg.Fset.Position(fd.Pos())
-			end := pkg.Fset.Position(fd.End())
-			m := make(map[string]bool)
-			s.add(m, checks)
-			s.ranges = append(s.ranges, suppRange{file: start.Filename, start: start.Line, end: end.Line, checks: m})
 		}
 	}
 	return s
 }
 
-// suppresses reports whether d is silenced by an ignore annotation.
+// suppresses reports whether d is silenced by an ignore annotation,
+// marking the directive that fired as used.
 func (s *suppressions) suppresses(d Diagnostic) bool {
-	if m := s.lines[lineKey{d.Pos.Filename, d.Pos.Line}]; m != nil && (m[d.Check] || m["all"]) {
-		return true
-	}
-	for _, r := range s.ranges {
-		if r.file == d.Pos.Filename && d.Pos.Line >= r.start && d.Pos.Line <= r.end && (r.checks[d.Check] || r.checks["all"]) {
-			return true
+	hit := false
+	for _, dir := range s.lines[lineKey{d.Pos.Filename, d.Pos.Line}] {
+		if dir.matches(d.Check) {
+			dir.used = true
+			hit = true
 		}
 	}
-	return false
+	for _, r := range s.ranges {
+		if r.file == d.Pos.Filename && d.Pos.Line >= r.start && d.Pos.Line <= r.end && r.d.matches(d.Check) {
+			r.d.used = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// stale returns one diagnostic per directive that suppressed nothing.
+// ran is the set of analyzer names that actually executed: a directive
+// is only judged stale when every check it names was given the chance
+// to fire ("all" directives are judged whenever stale detection is on,
+// which the CLI enables only for full-suite runs).
+func (s *suppressions) stale(ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, dir := range s.directives {
+		if dir.used {
+			continue
+		}
+		conclusive := true
+		for _, c := range dir.checks {
+			if c != "all" && !ran[c] {
+				conclusive = false
+				break
+			}
+		}
+		if !conclusive {
+			continue
+		}
+		d := Diagnostic{
+			Check: StaleCheck,
+			Pos:   dir.pos,
+			Message: "//kernvet:ignore " + strings.Join(dir.checks, ",") +
+				" suppresses no findings; the code it excused has moved or been fixed — remove the stale annotation",
+		}
+		d.File, d.Line, d.Col = d.Pos.Filename, d.Pos.Line, d.Pos.Column
+		out = append(out, d)
+	}
+	return out
 }

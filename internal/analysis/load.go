@@ -3,6 +3,7 @@ package analysis
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -98,16 +99,16 @@ func (l *Loader) goList(args ...string) ([]listedPkg, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("analysis: go list %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s", strings.Join(args, " "), err, stderr.String())
 	}
 	var pkgs []listedPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
 		var p listedPkg
-		if err := dec.Decode(&p); err == io.EOF {
+		if err := dec.Decode(&p); errors.Is(err, io.EOF) {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
 		}
 		pkgs = append(pkgs, p)
 	}
@@ -191,7 +192,7 @@ func (l *Loader) typecheck(fset *token.FileSet, imp types.Importer, path, dir st
 	for _, fn := range filenames {
 		f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
 		if err != nil {
-			return nil, fmt.Errorf("analysis: %v", err)
+			return nil, fmt.Errorf("analysis: %w", err)
 		}
 		files = append(files, f)
 	}

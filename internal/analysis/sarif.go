@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// SARIF 2.1.0 rendering of a diagnostic set. The output targets the
+// static-analysis results interchange format consumed by code-review
+// UIs and CI annotation steps; only the slice of the schema kernvet
+// needs is modelled. There is deliberately no fix machinery — kernvet
+// reports, humans change code.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders diags as a single-run SARIF 2.1.0 log. analyzers
+// populate the driver's rule table (StaleCheck is appended implicitly:
+// it is an engine product, not an analyzer). baseDir, when non-empty,
+// relativizes file URIs so the log is portable across checkouts.
+func WriteSARIF(w io.Writer, diags []Diagnostic, analyzers []*Analyzer, baseDir string) error {
+	rules := make([]sarifRule, 0, len(analyzers)+1)
+	for _, a := range analyzers {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	rules = append(rules, sarifRule{
+		ID:               StaleCheck,
+		ShortDescription: sarifMessage{Text: "//kernvet:ignore directives must suppress at least one finding"},
+	})
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		uri := d.File
+		if baseDir != "" {
+			if rel, err := filepath.Rel(baseDir, d.File); err == nil && !filepath.IsAbs(rel) {
+				uri = rel
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: filepath.ToSlash(uri)},
+					Region:           sarifRegion{StartLine: d.Line, StartColumn: d.Col},
+				},
+			}},
+		})
+	}
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "kernvet", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

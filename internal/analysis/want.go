@@ -38,10 +38,15 @@ func parseWants(pkg *Package) ([]*expectation, error) {
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
-				text := strings.TrimPrefix(c.Text, "//")
-				text = strings.TrimSpace(text)
-				rest, ok := strings.CutPrefix(text, "want ")
-				if !ok {
+				// A want marker may open the comment or follow other
+				// trailing-comment content on the same line (a line comment
+				// swallows everything to EOL, so e.g. an ignore directive
+				// and its want expectation share one ast.Comment).
+				text := c.Text
+				var rest string
+				if i := strings.Index(text, "// want "); i >= 0 {
+					rest = text[i+len("// want "):]
+				} else {
 					continue
 				}
 				pos := pkg.Fset.Position(c.Pos())
@@ -57,12 +62,12 @@ func parseWants(pkg *Package) ([]*expectation, error) {
 						var err error
 						pat, err = strconv.Unquote(q)
 						if err != nil {
-							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+							return nil, fmt.Errorf("%s:%d: bad want pattern %s: %w", pos.Filename, pos.Line, q, err)
 						}
 					}
 					re, err := regexp.Compile(pat)
 					if err != nil {
-						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+						return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", pos.Filename, pos.Line, pat, err)
 					}
 					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
 				}
@@ -81,7 +86,10 @@ func CheckExpectations(pkg *Package, analyzers []*Analyzer) []string {
 	if err != nil {
 		return []string{err.Error()}
 	}
-	diags := Run([]*Package{pkg}, analyzers)
+	// Stale-ignore detection is on so batteries can pin both halves of
+	// the suppression contract: ignores that fire stay silent, ignores
+	// that suppress nothing surface as [staleignore] findings.
+	diags := RunWithOptions([]*Package{pkg}, analyzers, RunOptions{StaleIgnores: true})
 	var problems []string
 	for _, d := range diags {
 		rendered := fmt.Sprintf("[%s] %s", d.Check, d.Message)

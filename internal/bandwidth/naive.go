@@ -86,7 +86,10 @@ func NaiveGridSearchContext(ctx context.Context, x, y []float64, g Grid, k kerne
 // Best selects the lowest-score bandwidth, ties resolving to the
 // lowest index (smallest h), the same convention the device arg-min
 // reduction uses. Non-finite scores never win unless every score is
-// non-finite.
+// non-finite. Every distributed selection path reduces to this
+// function, so it is under the bit-determinism contract.
+//
+//kernvet:bitexact
 func Best(g Grid, scores []float64) Result {
 	best := -1
 	bv := math.Inf(1)

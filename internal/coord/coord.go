@@ -185,16 +185,31 @@ func (c *Coordinator) Select(ctx context.Context, job Job) (Result, error) {
 	if err := job.Grid.Validate(); err != nil {
 		return Result{}, err
 	}
-	c.metrics.Requests.Add(1)
+	c.metrics.IncRequests()
 	start := time.Now()
+	res, err := c.runSelect(ctx, job, method, kernelName)
+	if err != nil {
+		return Result{}, err
+	}
+	// Latency is observed on success only (cache hits included — they
+	// are the point); error paths return without an observation.
+	c.metrics.Latency["select"].Observe(time.Since(start))
+	return res, nil
+}
 
+// runSelect is the wall-clock-free core of Select: cache lookup, shard
+// planning, dispatch, collection, and merge. Request counting and
+// latency timing live in Select, outside the bit-determinism contract,
+// so nothing in here can let the clock influence the returned bits.
+//
+//kernvet:bitexact
+func (c *Coordinator) runSelect(ctx context.Context, job Job, method kernreg.Method, kernelName string) (Result, error) {
 	stable := job.Stable == nil || *job.Stable
 	var key kernreg.Fingerprint
 	if c.cache != nil {
 		key = kernreg.FingerprintSelect(job.X, job.Y, job.Grid.H, method, kernelName, stable, job.KeepScores)
 		if res, ok := c.cache.get(key); ok {
 			res.CacheHit = true
-			c.metrics.Latency["select"].Observe(time.Since(start))
 			return res, nil
 		}
 	}
@@ -260,13 +275,13 @@ func (c *Coordinator) Select(ctx context.Context, job Job) (Result, error) {
 		return Result{}, err
 	}
 	if firstErr != nil {
-		c.metrics.Failures.Add(1)
+		c.metrics.IncFailures()
 		return Result{}, firstErr
 	}
 
 	res, err := mergeShards(job, assigns, shards)
 	if err != nil {
-		c.metrics.Failures.Add(1)
+		c.metrics.IncFailures()
 		return Result{}, err
 	}
 	res.Shards = len(assigns)
@@ -274,7 +289,6 @@ func (c *Coordinator) Select(ctx context.Context, job Job) (Result, error) {
 	if c.cache != nil {
 		c.cache.put(key, res)
 	}
-	c.metrics.Latency["select"].Observe(time.Since(start))
 	return res, nil
 }
 
@@ -283,6 +297,8 @@ func (c *Coordinator) Select(ctx context.Context, job Job) (Result, error) {
 // ascending shard (= grid) order, falling back to the first shard's
 // local result — which sits at global index 0 — when nothing finite
 // beats +Inf. Global index = shard offset + local index.
+//
+//kernvet:bitexact
 func mergeShards(job Job, assigns []shardAssign, shards []serve.ShardResponse) (Result, error) {
 	type shardVal struct {
 		h, cv  float64
@@ -611,7 +627,7 @@ func (c *Coordinator) runShard(ctx context.Context, idx int, req serve.ShardRequ
 			ar := <-attemptC
 			inflight--
 			if ar.err == nil {
-				c.metrics.HedgeLate.Add(1)
+				c.metrics.IncHedgeLate()
 			}
 		}
 	}
@@ -631,7 +647,7 @@ func (c *Coordinator) runShard(ctx context.Context, idx int, req serve.ShardRequ
 			hedgeC = nil
 			if wi, ok := nextUntried(); ok {
 				hedged = true
-				c.metrics.Hedges.Add(1)
+				c.metrics.IncHedges()
 				launch(wi)
 			}
 		case ar := <-attemptC:
@@ -647,7 +663,7 @@ func (c *Coordinator) runShard(ctx context.Context, idx int, req serve.ShardRequ
 			}
 			if retryable(ar.err) {
 				c.markCool(ar.worker)
-				c.metrics.Failovers.Add(1)
+				c.metrics.IncFailovers()
 				if wi, ok := nextUntried(); ok {
 					launch(wi)
 					continue

@@ -36,6 +36,26 @@ func newCoordMetrics(c *Coordinator) *Metrics {
 	}
 }
 
+// Counter mutation goes through the helpers below rather than the
+// expvar fields directly, so every site that can bump a counter is
+// enumerable from this type (the atomicexpvar analyzer enforces it).
+
+// IncRequests counts one Select call that passed validation.
+func (m *Metrics) IncRequests() { m.Requests.Add(1) }
+
+// IncFailures counts one selection that errored after dispatch.
+func (m *Metrics) IncFailures() { m.Failures.Add(1) }
+
+// IncHedges counts one hedge attempt launched.
+func (m *Metrics) IncHedges() { m.Hedges.Add(1) }
+
+// IncHedgeLate counts one hedge loser discarded after a winner.
+func (m *Metrics) IncHedgeLate() { m.HedgeLate.Add(1) }
+
+// IncFailovers counts one retryable shard failure that benched a
+// worker.
+func (m *Metrics) IncFailovers() { m.Failovers.Add(1) }
+
 // WriteJSON renders the metrics as one JSON object (the /metrics body).
 // The cache block carries the hit/miss/eviction counters the ISSUE's
 // acceptance gate reads.

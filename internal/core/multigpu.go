@@ -238,27 +238,11 @@ func SelectGPUFleetContext(ctx context.Context, x, y []float64, g bandwidth.Grid
 		pending = requeued
 	}
 
-	// Host-side combine: add the per-shard partial per-bandwidth sums
-	// (k values per shard — trivial traffic) in shard-index order and
-	// pick the arg-min with the same smallest-h tie-break as the device
-	// reduction. Shard order, not device order, keeps the result
-	// bit-identical whether or not shards were requeued.
 	total := ws.GridBuf(k)
 	for jh := 0; jh < k; jh++ {
 		total = append(total, 0)
 	}
-	for _, p := range partial {
-		if p == nil {
-			continue
-		}
-		for jh, v := range p {
-			total[jh] += float64(v)
-		}
-	}
-	for jh := range total {
-		total[jh] /= float64(n)
-	}
-	res := bandwidth.Best(g, total)
+	res := combineFleetPartials(g, partial, total, n)
 	// total is pooled memory and Best aliases it into Scores: detach
 	// before the deferred Release hands the workspace back.
 	if opt.KeepScores {
@@ -288,6 +272,30 @@ func SelectGPUFleetContext(ctx context.Context, x, y []float64, g bandwidth.Grid
 		Requeues:      requeues,
 		Degraded:      degraded,
 	}, nil
+}
+
+// combineFleetPartials is the fleet's host-side combine: it adds the
+// per-shard partial per-bandwidth sums (k values per shard — trivial
+// traffic) into total in shard-index order, divides by the sample
+// size, and picks the arg-min with the same smallest-h tie-break as
+// the device reduction. Shard order, not device order, keeps the
+// result bit-identical whether or not shards were requeued. total must
+// arrive zeroed with len(g.H) slots; Best aliases it into Scores.
+//
+//kernvet:bitexact
+func combineFleetPartials(g bandwidth.Grid, partial [][]float32, total []float64, n int) bandwidth.Result {
+	for _, p := range partial {
+		if p == nil {
+			continue
+		}
+		for jh, v := range p {
+			total[jh] += float64(v)
+		}
+	}
+	for jh := range total {
+		total[jh] /= float64(n)
+	}
+	return bandwidth.Best(g, total)
 }
 
 // runFleetShard opens a fresh context on fleet device di and runs one

@@ -1,0 +1,40 @@
+package gpu
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// TestSentinelsMatchThroughWrap pins the error-matching contract the
+// errdiscipline analyzer enforces at the call sites: every sentinel and
+// typed error of this package must stay matchable through one
+// fmt.Errorf("%w") layer and through a DeviceError wrapper, because
+// that is exactly how the fleet scheduler and the serve handlers
+// receive them. A == comparison would pass on the bare sentinel and
+// silently fail on every wrapped form below.
+func TestSentinelsMatchThroughWrap(t *testing.T) {
+	for _, sentinel := range []error{ErrDeviceLost, ErrMemoryPressure, ErrOutOfMemory} {
+		wrapped := fmt.Errorf("shard 3: %w", sentinel)
+		if !errors.Is(wrapped, sentinel) {
+			t.Errorf("errors.Is failed through fmt.Errorf wrap for %v", sentinel)
+		}
+		if errors.Is(wrapped, errors.New(sentinel.Error())) {
+			t.Errorf("errors.Is matched a same-text impostor for %v; identity must not be textual", sentinel)
+		}
+	}
+	de := &DeviceError{Device: 2, Op: "launch", Err: ErrDeviceLost}
+	if !errors.Is(de, ErrDeviceLost) {
+		t.Errorf("errors.Is(DeviceError{ErrDeviceLost}, ErrDeviceLost) = false; DeviceError.Unwrap is broken")
+	}
+	if !errors.Is(fmt.Errorf("requeue: %w", de), ErrDeviceLost) {
+		t.Errorf("errors.Is failed through DeviceError plus one fmt.Errorf layer")
+	}
+	var xe *XIDError
+	if !errors.As(fmt.Errorf("attempt 1: %w", &XIDError{Device: 1, XID: 79, Kernel: "cv"}), &xe) {
+		t.Fatalf("errors.As failed to recover *XIDError through one wrap layer")
+	}
+	if xe.XID != 79 {
+		t.Errorf("recovered XIDError lost its payload: XID = %d, want 79", xe.XID)
+	}
+}

@@ -1,0 +1,40 @@
+package mvreg
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/kernel"
+)
+
+// TestErrDimensionMatchesThroughWrap pins that ErrDimension stays
+// matchable with errors.Is on the two paths that wrap it — Sample
+// validation and Predict — plus one more caller-added fmt.Errorf
+// layer, which is how the serve API receives it before mapping it to a
+// 4xx. A == comparison would fail on every one of these.
+func TestErrDimensionMatchesThroughWrap(t *testing.T) {
+	ragged := Sample{
+		X: [][]float64{{1, 2}, {3}},
+		Y: []float64{0, 1},
+	}
+	if err := ragged.Validate(); !errors.Is(err, ErrDimension) {
+		t.Fatalf("Validate on ragged rows returned %v; want an ErrDimension-wrapped error", err)
+	}
+
+	s := Sample{
+		X: [][]float64{{0, 0}, {1, 0}, {0, 1}, {1, 1}},
+		Y: []float64{0, 1, 2, 3},
+	}
+	m, err := New(s, []float64{0.5, 0.5}, kernel.Gaussian)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	_, _, err = m.Predict([]float64{1}) // one coordinate against a 2-D model
+	if !errors.Is(err, ErrDimension) {
+		t.Fatalf("Predict with wrong arity returned %v; want an ErrDimension-wrapped error", err)
+	}
+	if !errors.Is(fmt.Errorf("api: %w", err), ErrDimension) {
+		t.Fatalf("errors.Is failed through a caller-added wrap layer")
+	}
+}

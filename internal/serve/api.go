@@ -334,7 +334,7 @@ const statusClientClosedRequest = 499
 // runJob admits fn into the pool and maps pool/selector errors to HTTP.
 // It returns false if the response has already been written.
 func (s *Server) runJob(w http.ResponseWriter, r *http.Request, method string, fn func(ctx context.Context) error) bool {
-	s.metrics.Requests.Add(1)
+	s.metrics.IncRequests()
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
 	defer cancel()
 	start := time.Now()
@@ -355,16 +355,16 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, method string, f
 	case jobErr == nil:
 		return true
 	case errors.Is(jobErr, context.DeadlineExceeded):
-		s.metrics.Failures.Add(1)
+		s.metrics.IncFailures()
 		http.Error(w, "selection exceeded the compute deadline", http.StatusGatewayTimeout)
 	case errors.Is(jobErr, context.Canceled):
-		s.metrics.Failures.Add(1)
+		s.metrics.IncFailures()
 		http.Error(w, "client closed request", statusClientClosedRequest)
 	default:
 		// Anything else the selector rejects at this point is an input
 		// the decoder's structural checks cannot see (e.g. a degenerate
 		// domain for the grid builder) — still the client's data.
-		s.metrics.Failures.Add(1)
+		s.metrics.IncFailures()
 		http.Error(w, jobErr.Error(), http.StatusBadRequest)
 	}
 	return false
@@ -373,7 +373,7 @@ func (s *Server) runJob(w http.ResponseWriter, r *http.Request, method string, f
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	req, opts, herr := decodeSelectRequest(r.Body, s.cfg)
 	if herr != nil {
-		s.metrics.Rejected.Add(1)
+		s.metrics.IncRejected()
 		http.Error(w, herr.msg, herr.status)
 		return
 	}
@@ -415,7 +415,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleFitPredict(w http.ResponseWriter, r *http.Request) {
 	req, herr := decodeFitPredictRequest(r.Body, s.cfg)
 	if herr != nil {
-		s.metrics.Rejected.Add(1)
+		s.metrics.IncRejected()
 		http.Error(w, herr.msg, herr.status)
 		return
 	}

@@ -109,7 +109,7 @@ func (s *Server) handleDevices(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	var req InjectRequest
 	if herr := decodeJSON(r.Body, &req); herr != nil {
-		s.metrics.Rejected.Add(1)
+		s.metrics.IncRejected()
 		http.Error(w, herr.msg, herr.status)
 		return
 	}
@@ -130,12 +130,12 @@ func (s *Server) handleInject(w http.ResponseWriter, r *http.Request) {
 	case "mem-pressure":
 		err = s.fleet.InjectMemPressure(req.Device, req.WatermarkBytes)
 	default:
-		s.metrics.Rejected.Add(1)
+		s.metrics.IncRejected()
 		http.Error(w, "kind must be \"xid\", \"off-bus\" or \"mem-pressure\"", http.StatusBadRequest)
 		return
 	}
 	if err != nil {
-		s.metrics.Rejected.Add(1)
+		s.metrics.IncRejected()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -184,12 +184,12 @@ func (s *Server) handleFleetSelect(w http.ResponseWriter, r *http.Request, req *
 		return
 	}
 	if unavailable != nil {
-		s.metrics.Failures.Add(1)
+		s.metrics.IncFailures()
 		http.Error(w, unavailable.msg, unavailable.status)
 		return
 	}
-	s.metrics.FleetSelections.Add(1)
-	s.metrics.FleetRequeues.Add(int64(res.Requeues))
+	s.metrics.IncFleetSelections()
+	s.metrics.AddFleetRequeues(int64(res.Requeues))
 	resp := SelectResponse{
 		Bandwidth: res.H,
 		CV:        finitePtr(res.CV),

@@ -54,6 +54,29 @@ func newMetrics() *Metrics {
 	}
 }
 
+// Counter mutation goes through the helpers below rather than the
+// expvar fields directly, so every site that can bump a counter is
+// enumerable from this type (the atomicexpvar analyzer enforces it).
+
+// IncRequests counts one admitted API call.
+func (m *Metrics) IncRequests() { m.Requests.Add(1) }
+
+// IncShed counts one request rejected by admission control.
+func (m *Metrics) IncShed() { m.Shed.Add(1) }
+
+// IncRejected counts one malformed or over-limit request.
+func (m *Metrics) IncRejected() { m.Rejected.Add(1) }
+
+// IncFailures counts one request that reached a selector and errored.
+func (m *Metrics) IncFailures() { m.Failures.Add(1) }
+
+// IncFleetSelections counts one completed fleet selection.
+func (m *Metrics) IncFleetSelections() { m.FleetSelections.Add(1) }
+
+// AddFleetRequeues adds the shard requeues one self-healing run
+// performed.
+func (m *Metrics) AddFleetRequeues(n int64) { m.FleetRequeues.Add(n) }
+
 // QueueDepth reports the number of admitted requests waiting for a
 // worker at this instant.
 func (m *Metrics) QueueDepth() int {

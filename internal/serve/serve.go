@@ -139,7 +139,7 @@ func New(cfg Config) *Server {
 	s.metrics.fleetEvents = fleet.TotalHealthEvents
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker() //kernvet:ignore goleak -- server-scoped pool: workers drain s.jobs until close and are joined by Drain via s.wg, not by New
 	}
 	s.mux = s.routes()
 	return s
@@ -176,7 +176,7 @@ func (s *Server) submit(ctx context.Context, fn func(context.Context)) error {
 		s.mu.RUnlock()
 	default:
 		s.mu.RUnlock()
-		s.metrics.Shed.Add(1)
+		s.metrics.IncShed()
 		return ErrQueueFull
 	}
 	<-j.done

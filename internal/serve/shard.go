@@ -159,7 +159,7 @@ func decodeShardRequest(body io.Reader, cfg Config) (*ShardRequest, []float64, [
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	req, x, y, g, herr := decodeShardRequest(r.Body, s.cfg)
 	if herr != nil {
-		s.metrics.Rejected.Add(1)
+		s.metrics.IncRejected()
 		http.Error(w, herr.msg, herr.status)
 		return
 	}

@@ -8,6 +8,10 @@
 // ±Inf CV scores included). So every float that crosses a process
 // boundary travels as its IEEE-754 bit pattern: slices as base64 of
 // the little-endian u64 stream, scalars as fixed-width hex.
+//
+// The whole package is under the bit-determinism contract:
+//
+//kernvet:bitexact
 package wire
 
 import (
@@ -39,7 +43,7 @@ func EncodeFloat64s(vs []float64) string {
 func DecodeFloat64s(s string) ([]float64, error) {
 	buf, err := base64.StdEncoding.DecodeString(s)
 	if err != nil {
-		return nil, fmt.Errorf("wire: invalid base64: %v", err)
+		return nil, fmt.Errorf("wire: invalid base64: %w", err)
 	}
 	if len(buf)%8 != 0 {
 		return nil, fmt.Errorf("wire: float64 payload of %d bytes is not a multiple of 8", len(buf))
@@ -65,7 +69,7 @@ func ParseBits(s string) (float64, error) {
 	}
 	u, err := strconv.ParseUint(s, 16, 64)
 	if err != nil {
-		return 0, fmt.Errorf("wire: invalid bit pattern %q: %v", s, err)
+		return 0, fmt.Errorf("wire: invalid bit pattern %q: %w", s, err)
 	}
 	return math.Float64frombits(u), nil
 }

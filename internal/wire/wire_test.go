@@ -11,7 +11,10 @@ var awkward = []float64{
 	0, math.Copysign(0, -1), 1, -1, 0.1, 1e300, 5e-324, -5e-324,
 	math.Inf(1), math.Inf(-1), math.NaN(),
 	math.Float64frombits(0x7ff0000000000001), // signalling-style NaN payload
+	math.Float64frombits(0xfff0deadbeef0001), // negative signalling-style NaN payload
 	math.Float64frombits(0xfff8000000000123),
+	math.Float64frombits(0x000fffffffffffff), // largest subnormal
+	math.Float64frombits(0x800fffffffffffff), // most negative subnormal
 	math.MaxFloat64, -math.MaxFloat64,
 }
 
@@ -63,10 +66,98 @@ func TestBitsRoundTrip(t *testing.T) {
 	}
 }
 
+// TestFloat64sDecodeEncodeCanonical pins the opposite direction of the
+// round trip: decoding a wire string our own encoder produced and
+// re-encoding the result must reproduce the string byte for byte. The
+// coordinator's result cache fingerprints requests by their encoded
+// form, so a non-canonical re-encode would split identical jobs across
+// cache entries.
+func TestFloat64sDecodeEncodeCanonical(t *testing.T) {
+	enc := EncodeFloat64s(awkward)
+	vs, err := DecodeFloat64s(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got := EncodeFloat64s(vs); got != enc {
+		t.Errorf("decode→encode not canonical:\n got %q\nwant %q", got, enc)
+	}
+}
+
+// TestBitsParseFormatCanonical is the scalar counterpart: parsing a
+// FormatBits string and re-formatting must reproduce it exactly,
+// including NaN payloads and subnormal patterns.
+func TestBitsParseFormatCanonical(t *testing.T) {
+	for _, v := range awkward {
+		s := FormatBits(v)
+		got, err := ParseBits(s)
+		if err != nil {
+			t.Fatalf("ParseBits(%q): %v", s, err)
+		}
+		if rt := FormatBits(got); rt != s {
+			t.Errorf("parse→format not canonical: %q became %q", s, rt)
+		}
+	}
+}
+
 func TestParseBitsRejects(t *testing.T) {
 	for _, s := range []string{"", "0", "00000000000000000", "zzzzzzzzzzzzzzzz", "0x00000000000000"} {
 		if _, err := ParseBits(s); err == nil {
 			t.Errorf("ParseBits(%q) accepted", s)
 		}
 	}
+}
+
+// FuzzFloat64sRoundTrip drives DecodeFloat64s with arbitrary strings.
+// Anything the decoder accepts must survive an encode→decode cycle
+// bit for bit — the exact property the shard protocol stands on. The
+// seed corpus covers the full awkward battery (subnormals, negative
+// zero, NaN payloads in both sign halves) plus the empty stream and a
+// handful of malformed inputs that must keep being rejected cleanly.
+func FuzzFloat64sRoundTrip(f *testing.F) {
+	f.Add(EncodeFloat64s(awkward))
+	f.Add(EncodeFloat64s(nil))
+	for _, v := range awkward {
+		f.Add(EncodeFloat64s([]float64{v}))
+	}
+	f.Add("not base64!!!")
+	f.Add("AAAAAA==")
+	f.Fuzz(func(t *testing.T, s string) {
+		vs, err := DecodeFloat64s(s)
+		if err != nil {
+			return // rejected input; only panics are failures here
+		}
+		back, err := DecodeFloat64s(EncodeFloat64s(vs))
+		if err != nil {
+			t.Fatalf("re-decode of our own encoding failed: %v", err)
+		}
+		if len(back) != len(vs) {
+			t.Fatalf("round trip changed length: %d → %d", len(vs), len(back))
+		}
+		for i := range vs {
+			if math.Float64bits(back[i]) != math.Float64bits(vs[i]) {
+				t.Errorf("index %d: bits %016x became %016x",
+					i, math.Float64bits(vs[i]), math.Float64bits(back[i]))
+			}
+		}
+	})
+}
+
+// FuzzBitsRoundTrip drives the scalar hex path over arbitrary bit
+// patterns: every uint64 names a float64 (NaN payloads included), and
+// FormatBits→ParseBits must hand back exactly those bits.
+func FuzzBitsRoundTrip(f *testing.F) {
+	for _, v := range awkward {
+		f.Add(math.Float64bits(v))
+	}
+	f.Add(uint64(0x0000000000000001)) // smallest subnormal, raw bits
+	f.Add(uint64(0x8000000000000000)) // negative zero, raw bits
+	f.Fuzz(func(t *testing.T, u uint64) {
+		got, err := ParseBits(FormatBits(math.Float64frombits(u)))
+		if err != nil {
+			t.Fatalf("ParseBits rejected our own FormatBits output for %016x: %v", u, err)
+		}
+		if math.Float64bits(got) != u {
+			t.Errorf("bits %016x round-tripped to %016x", u, math.Float64bits(got))
+		}
+	})
 }
